@@ -1,0 +1,204 @@
+//! Criterion micro-benchmarks over the substrate: checksum throughput,
+//! mbuf chain operations, CAB engine request rate, HOL simulation slots,
+//! and one end-to-end figure point per stack (small transfer so `cargo
+//! bench` stays quick).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use outboard_cab::{HolSim, MacMode};
+use outboard_host::MachineConfig;
+use outboard_mbuf::{Chain, Mbuf, TaskId, UioDesc, UioRegion};
+use outboard_stack::StackConfig;
+use outboard_testbed::{run_ttcp, ExperimentConfig};
+use outboard_wire::checksum::Accumulator;
+
+fn bench_checksum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checksum");
+    for size in [64usize, 1500, 32 * 1024] {
+        let data: Vec<u8> = (0..size).map(|i| i as u8).collect();
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("ones_complement_{size}"), |b| {
+            b.iter(|| {
+                let mut acc = Accumulator::new();
+                acc.add_bytes(std::hint::black_box(&data));
+                acc.finish()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_mbuf_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mbuf");
+    let build = || {
+        let mut chain = Chain::new();
+        for i in 0..16 {
+            chain.append(Mbuf::uio(UioDesc {
+                region: UioRegion {
+                    task: TaskId(1),
+                    base: 0,
+                },
+                off: i * 32 * 1024,
+                len: 32 * 1024,
+                counter: None,
+            }));
+        }
+        chain
+    };
+    g.bench_function("copy_range_512k_chain", |b| {
+        let chain = build();
+        b.iter(|| chain.copy_range(100_000, 32 * 1024))
+    });
+    g.bench_function("split_front_512k_chain", |b| {
+        b.iter_batched(
+            build,
+            |mut chain| chain.split_front(100_000),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_hol(c: &mut Criterion) {
+    c.bench_function("hol_16x16_100slots", |b| {
+        b.iter_batched(
+            || HolSim::new(16, MacMode::Fifo, 42),
+            |mut sim| sim.run(100),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_fig5_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    for (name, single) in [("unmodified", false), ("single_copy", true)] {
+        g.bench_function(format!("ttcp_1mb_64k_{name}"), |b| {
+            b.iter(|| {
+                let stack = if single {
+                    let mut s = StackConfig::single_copy();
+                    s.force_single_copy = true;
+                    s
+                } else {
+                    StackConfig::unmodified()
+                };
+                let mut cfg =
+                    ExperimentConfig::new(MachineConfig::alpha_3000_400(), stack, 64 * 1024);
+                cfg.total_bytes = 1024 * 1024;
+                cfg.verify = false;
+                let m = run_ttcp(&cfg);
+                assert!(m.completed);
+                m.throughput_mbps
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_checksum,
+    bench_mbuf_chain,
+    bench_hol,
+    bench_fig5_point
+);
+// Appended benches: substrate micro-costs that the figure harness leans on.
+
+mod more {
+    use super::*;
+    use criterion::Criterion;
+    use outboard_cab::{Cab, CabConfig, SdmaTx, SgEntry};
+    use outboard_host::{HostMem, TaskId, VmSystem};
+    use outboard_sim::Time;
+    use outboard_taxonomy as tax;
+    use outboard_wire::{Ipv4Header, TcpHeader};
+
+    pub fn bench_vm_ops(c: &mut Criterion) {
+        c.bench_function("vm_prepare_release_32k", |b| {
+            let mut vm = VmSystem::new(MachineConfig::alpha_3000_400(), false);
+            b.iter(|| {
+                let cost = vm.prepare(TaskId(1), 0, 32 * 1024);
+                let cost2 = vm.release(TaskId(1), 0, 32 * 1024);
+                std::hint::black_box((cost, cost2))
+            })
+        });
+    }
+
+    pub fn bench_taxonomy(c: &mut Criterion) {
+        c.bench_function("taxonomy_full_table", |b| {
+            b.iter(|| {
+                let mut total = 0u32;
+                for (api, csum) in tax::table_rows() {
+                    for a in tax::adaptor_columns() {
+                        total += tax::cell_cpu_accesses(api, csum, a);
+                    }
+                }
+                std::hint::black_box(total)
+            })
+        });
+    }
+
+    pub fn bench_wire_parse(c: &mut Criterion) {
+        let ip = Ipv4Header::new(
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+            6,
+            1000,
+            7,
+        );
+        let mut buf = ip.build().to_vec();
+        buf.resize(1020, 0);
+        c.bench_function("ipv4_parse", |b| {
+            b.iter(|| Ipv4Header::parse(std::hint::black_box(&buf)).unwrap())
+        });
+        let mut th = TcpHeader::new(1, 2, 3, 4, outboard_wire::TcpFlags::SYN);
+        th.mss = Some(32728);
+        th.window_scale = Some(4);
+        let tb = th.build();
+        c.bench_function("tcp_parse_with_options", |b| {
+            b.iter(|| TcpHeader::parse(std::hint::black_box(&tb)).unwrap())
+        });
+    }
+
+    pub fn bench_sdma(c: &mut Criterion) {
+        c.bench_function("cab_sdma_tx_32k", |b| {
+            let mut cab = Cab::new(1, CabConfig::default());
+            let mut mem = HostMem::new();
+            mem.create_region(TaskId(1), 0, 64 * 1024);
+            let mut now = Time::ZERO;
+            b.iter(|| {
+                let pkt = cab.alloc_packet(32 * 1024).expect("netmem");
+                let ev = cab
+                    .sdma_tx(
+                        SdmaTx {
+                            packet: pkt,
+                            sg: vec![SgEntry::User {
+                                task: TaskId(1),
+                                vaddr: 0,
+                                len: 32 * 1024,
+                            }],
+                            csum: None,
+                            reuse_body_csum: false,
+                            interrupt_on_complete: false,
+                            token: 0,
+                        },
+                        now,
+                        &mem,
+                    )
+                    .unwrap();
+                now = ev.at();
+                cab.free_packet(pkt);
+                std::hint::black_box(now)
+            })
+        });
+    }
+}
+
+criterion_group!(
+    more_benches,
+    more::bench_vm_ops,
+    more::bench_taxonomy,
+    more::bench_wire_parse,
+    more::bench_sdma
+);
+
+criterion_main!(benches, more_benches);

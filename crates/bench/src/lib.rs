@@ -1,0 +1,92 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Each paper table/figure has a binary in `src/bin/`:
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `fig5` | Figure 5: throughput / utilization / efficiency vs size, Alpha 3000/400 |
+//! | `fig6` | Figure 6: the same on the Alpha 3000/300LX |
+//! | `table1` | Table 1: host-interface taxonomy |
+//! | `table2` | Table 2: VM operation costs (measured + least-squares fit) |
+//! | `analysis` | §7.3: analytic efficiency estimates vs simulation |
+//! | `hol` | §2.1: FIFO head-of-line blocking vs logical channels |
+//! | `crossover` | §4.4.3/§4.5 ablations: path choice and alignment fallback |
+//!
+//! Criterion micro-benches live in `benches/`.
+
+use outboard_host::MachineConfig;
+use outboard_stack::StackConfig;
+use outboard_testbed::{run_ttcp, ExperimentConfig, Metrics};
+
+/// The read/write sizes of Figures 5 and 6 (1 KB .. 512 KB).
+pub fn figure_sizes() -> Vec<usize> {
+    (0..10).map(|i| 1024usize << i).collect()
+}
+
+/// Transfer enough bytes for steady state without wasting wall time.
+pub fn total_for(write_size: usize) -> usize {
+    (write_size * 64).clamp(2 * 1024 * 1024, 16 * 1024 * 1024)
+}
+
+/// One figure point for a given stack flavor.
+pub fn figure_point(machine: &MachineConfig, single_copy: bool, write_size: usize) -> Metrics {
+    let stack = if single_copy {
+        let mut s = StackConfig::single_copy();
+        // §7.2: "the measurements for the modified stack always use the
+        // single-copy path".
+        s.force_single_copy = true;
+        s
+    } else {
+        StackConfig::unmodified()
+    };
+    let mut cfg = ExperimentConfig::new(machine.clone(), stack, write_size);
+    cfg.total_bytes = total_for(write_size);
+    cfg.verify = false; // checked extensively in tests; keep benches honest
+    run_ttcp(&cfg)
+}
+
+/// Render one figure (three panels) as aligned text plus CSV.
+pub fn print_figure(machine: &MachineConfig) {
+    println!("# {}", machine.name);
+    println!("# series: unmodified stack, modified (single-copy) stack, raw HIPPI");
+    println!(
+        "{:>8} | {:>9} {:>9} {:>9} | {:>8} {:>8} | {:>9} {:>9} | {:>9} {:>9}",
+        "size_KB", "un_Mbps", "sc_Mbps", "raw_Mbps", "un_util", "sc_util", "un_eff", "sc_eff",
+        "un_eff_rx", "sc_eff_rx"
+    );
+    let mut csv = String::from(
+        "size_kb,unmodified_mbps,singlecopy_mbps,raw_mbps,unmodified_util,singlecopy_util,unmodified_eff,singlecopy_eff\n",
+    );
+    for size in figure_sizes() {
+        let un = figure_point(machine, false, size);
+        let sc = figure_point(machine, true, size);
+        let raw = outboard_testbed::raw_hippi_throughput(machine, size.min(32 * 1024), 200);
+        // The paper: "The utilization results are for the sender, but the
+        // results on the receiver are similar" — report both.
+        println!(
+            "{:>8} | {:>9.1} {:>9.1} {:>9.1} | {:>8.2} {:>8.2} | {:>9.0} {:>9.0} | {:>9.0} {:>9.0}",
+            size / 1024,
+            un.throughput_mbps,
+            sc.throughput_mbps,
+            raw,
+            un.sender_utilization,
+            sc.sender_utilization,
+            un.sender_efficiency_mbps,
+            sc.sender_efficiency_mbps,
+            un.receiver_efficiency_mbps,
+            sc.receiver_efficiency_mbps
+        );
+        csv.push_str(&format!(
+            "{},{:.1},{:.1},{:.1},{:.3},{:.3},{:.0},{:.0}\n",
+            size / 1024,
+            un.throughput_mbps,
+            sc.throughput_mbps,
+            raw,
+            un.sender_utilization,
+            sc.sender_utilization,
+            un.sender_efficiency_mbps,
+            sc.sender_efficiency_mbps
+        ));
+    }
+    println!("\n-- CSV --\n{csv}");
+}

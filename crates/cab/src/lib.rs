@@ -1,0 +1,35 @@
+//! The Gigabit Nectar CAB (Communication Acceleration Board) model.
+//!
+//! §2 of the paper, reproduced as a deterministic device model:
+//!
+//! * [`netmem`] — the outboard **network memory**: a page-granular pool in
+//!   which every packet starts on a page boundary and all but the last page
+//!   are full (the rule that forces fully-formed packets and symbolic
+//!   packetization in the host stack),
+//! * [`engine`] — the three concurrent DMA timelines: one **SDMA** engine
+//!   (host ↔ network memory, scatter/gather) and two **MDMA** engines
+//!   (network memory ↔ media),
+//! * [`cab`] — the register-file-level interface the driver programs:
+//!   transmit SDMA with **outboard checksum insertion** (seed + skip-words +
+//!   saved body checksum for retransmission), receive processing with
+//!   **auto-DMA buffers** and hardware receive checksums, packet
+//!   alloc/free commands, and interrupt raising,
+//! * [`mac`] — media access control: FIFO versus **logical channels**
+//!   (§2.1), used by the head-of-line-blocking experiment.
+//!
+//! The model moves real bytes (checksums are computed over actual packet
+//! contents) while engine occupancy advances virtual time according to the
+//! Turbochannel/microcode throughput limits §7.1 describes.
+
+#![warn(missing_docs)]
+
+pub mod cab;
+pub mod config;
+pub mod engine;
+pub mod mac;
+pub mod netmem;
+
+pub use cab::{Cab, CabError, CabEvent, CabStats, ChecksumSpec, SdmaDst, SdmaRx, SdmaTx, SgEntry};
+pub use config::CabConfig;
+pub use mac::{HolResult, HolSim, MacMode, MacModel};
+pub use netmem::{NetworkMemory, PacketId};

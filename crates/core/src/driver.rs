@@ -1,0 +1,262 @@
+//! Interfaces and drivers.
+//!
+//! Three device classes (Figure 4 of the paper):
+//!
+//! * [`CabIface`] — the CAB driver state: besides the traditional input and
+//!   output entry points it provides the *copy-in* and *copy-out* routines
+//!   (§3) that move data between host and network memory, tracks in-flight
+//!   SDMA requests by token, manages per-destination logical channels
+//!   (§2.1), and keeps the maps that tie outboard packet buffers to the
+//!   protocol data referencing them (so transmit buffers are freed on ACK
+//!   and receive buffers after the last copy-out);
+//! * [`EthIface`] — a conventional Ethernet whose driver copies data and
+//!   leaves checksumming to software; `M_UIO` chains are converted to
+//!   regular mbufs by a thin layer at its entry (§5);
+//! * `Loopback` — frames re-injected into the same kernel.
+
+use crate::types::{SockAddr, SockId};
+use outboard_cab::{Cab, PacketId};
+use outboard_wire::ether::MacAddr;
+use outboard_wire::hippi::HippiAddr;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Why an SDMA request was issued; consulted on its completion interrupt.
+#[derive(Clone, Copy, Debug)]
+#[allow(missing_docs)] // variant docs describe the payload fields
+pub enum SdmaPurpose {
+    /// Transmit copy-in of a data segment. On completion the kernel
+    /// replaces the `[seq_lo, seq_lo+data_len)` range of the socket's send
+    /// queue with an `M_WCAB` descriptor (the paper's "the mbuf type is
+    /// changed to M_WCAB after the data has been copied outboard") and
+    /// credits the write's UIO counter.
+    TxSegment {
+        sock: SockId,
+        seq_lo: u32,
+        data_len: usize,
+        packet: PacketId,
+        /// Framing + IP + transport header bytes in front of the data.
+        hdr_len: usize,
+        /// Pinned user range to release (single-copy path).
+        pinned: Option<(outboard_host::TaskId, u64, usize)>,
+    },
+    /// Transmit of a packet whose payload needed no conversion (traditional
+    /// path, retransmission header refresh, control segments).
+    TxPlain,
+    /// Receive copy-out toward a user buffer; credits the read's counter.
+    /// `copy_dst` is set on the unaligned fallback: the DMA lands in kernel
+    /// memory and the completion handler finishes with a CPU copy to the
+    /// user address (§4.5).
+    RxToUser {
+        sock: SockId,
+        bytes: usize,
+        copy_dst: Option<(outboard_host::TaskId, u64)>,
+    },
+    /// Receive conversion for an in-kernel application (§5): the completion
+    /// carries the kernel bytes that replace an `M_WCAB` range of queue
+    /// entry `serial` on `sock`.
+    RxToKernel {
+        sock: SockId,
+        serial: u64,
+        chain_off: usize,
+        len: usize,
+    },
+}
+
+/// CAB driver state for one interface.
+#[derive(Debug)]
+pub struct CabIface {
+    /// The device itself.
+    pub cab: Cab,
+    /// IP → fabric address resolution (static ARP for the simulation).
+    pub arp: HashMap<Ipv4Addr, HippiAddr>,
+    next_token: u64,
+    pending: HashMap<u64, SdmaPurpose>,
+    /// Logical channel assigned per destination (§2.1).
+    channels: HashMap<HippiAddr, u16>,
+    next_channel: u16,
+    /// Receive packets: payload bytes not yet copied out of network memory.
+    pub rx_remaining: HashMap<PacketId, usize>,
+    /// Transmit packets: data bytes not yet acknowledged (the packet stays
+    /// outboard for retransmission until this drains).
+    pub tx_remaining: HashMap<PacketId, usize>,
+    /// Transmit packets' header length (for retransmission geometry).
+    pub tx_hdr_len: HashMap<PacketId, usize>,
+}
+
+impl CabIface {
+    /// Driver state for a fresh device.
+    pub fn new(cab: Cab) -> CabIface {
+        CabIface {
+            cab,
+            arp: HashMap::new(),
+            next_token: 1,
+            pending: HashMap::new(),
+            channels: HashMap::new(),
+            next_channel: 0,
+            rx_remaining: HashMap::new(),
+            tx_remaining: HashMap::new(),
+            tx_hdr_len: HashMap::new(),
+        }
+    }
+
+    /// Allocate a completion token for a request with the given purpose.
+    pub fn issue(&mut self, purpose: SdmaPurpose) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        self.pending.insert(t, purpose);
+        t
+    }
+
+    /// Resolve a completion token.
+    pub fn complete(&mut self, token: u64) -> Option<SdmaPurpose> {
+        self.pending.remove(&token)
+    }
+
+    /// SDMA requests in flight.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The logical channel for a destination: one queue per distinct
+    /// destination, assigned round-robin over the hardware's channel set.
+    pub fn channel_for(&mut self, dst: HippiAddr) -> u16 {
+        let n = self.cab.config().num_channels as u16;
+        *self.channels.entry(dst).or_insert_with(|| {
+            let c = self.next_channel % n;
+            self.next_channel = self.next_channel.wrapping_add(1);
+            c
+        })
+    }
+}
+
+/// Conventional Ethernet interface.
+#[derive(Debug)]
+pub struct EthIface {
+    /// This interface's hardware address.
+    pub mac: MacAddr,
+    /// IP to MAC resolution (static for the simulation).
+    pub arp: HashMap<Ipv4Addr, MacAddr>,
+}
+
+impl EthIface {
+    /// Driver state for an Ethernet with address `mac`.
+    pub fn new(mac: MacAddr) -> EthIface {
+        EthIface {
+            mac,
+            arp: HashMap::new(),
+        }
+    }
+}
+
+/// The device behind an interface.
+#[derive(Debug)]
+pub enum IfaceKind {
+    /// The CAB (single-copy capable).
+    Cab(Box<CabIface>),
+    /// Conventional Ethernet.
+    Eth(EthIface),
+    /// Software loopback.
+    Loopback,
+}
+
+/// One network interface.
+#[derive(Debug)]
+pub struct Iface {
+    /// Index within the kernel's interface table.
+    pub id: crate::types::IfaceId,
+    /// The interface's IP address.
+    pub ip: Ipv4Addr,
+    /// Maximum transmission unit, bytes.
+    pub mtu: usize,
+    /// The device behind it.
+    pub kind: IfaceKind,
+}
+
+impl Iface {
+    /// Does this interface take the single-copy path (outboard buffering
+    /// and checksumming)?
+    pub fn single_copy_capable(&self) -> bool {
+        matches!(self.kind, IfaceKind::Cab(_))
+    }
+
+    /// Maximum TCP segment this interface supports.
+    pub fn tcp_mss(&self) -> usize {
+        self.mtu - outboard_wire::ipv4::IPV4_HEADER_LEN - outboard_wire::tcp::TCP_HEADER_LEN
+    }
+
+    /// The CAB driver state, when this interface is a CAB.
+    pub fn cab(&mut self) -> Option<&mut CabIface> {
+        match &mut self.kind {
+            IfaceKind::Cab(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed destination for in-kernel send APIs.
+#[derive(Clone, Copy, Debug)]
+pub struct Dest {
+    /// The resolved endpoint.
+    pub addr: SockAddr,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::IfaceId;
+    use outboard_cab::CabConfig;
+
+    fn cab_iface() -> CabIface {
+        CabIface::new(Cab::new(1, CabConfig::default()))
+    }
+
+    #[test]
+    fn token_lifecycle() {
+        let mut c = cab_iface();
+        let t1 = c.issue(SdmaPurpose::TxPlain);
+        let t2 = c.issue(SdmaPurpose::RxToUser {
+            sock: SockId(1),
+            bytes: 100,
+            copy_dst: None,
+        });
+        assert_ne!(t1, t2);
+        assert_eq!(c.pending_count(), 2);
+        assert!(matches!(c.complete(t1), Some(SdmaPurpose::TxPlain)));
+        assert!(c.complete(t1).is_none(), "token single-use");
+        assert_eq!(c.pending_count(), 1);
+    }
+
+    #[test]
+    fn channels_are_per_destination_and_stable() {
+        let mut c = cab_iface();
+        let a = c.channel_for(10);
+        let b = c.channel_for(20);
+        assert_ne!(a, b, "distinct destinations, distinct channels");
+        assert_eq!(c.channel_for(10), a, "stable per destination");
+        // Channel ids stay within the hardware's channel count.
+        for dst in 0..100u32 {
+            assert!((c.channel_for(dst) as usize) < c.cab.config().num_channels);
+        }
+    }
+
+    #[test]
+    fn iface_capabilities() {
+        let iface = Iface {
+            id: IfaceId(0),
+            ip: Ipv4Addr::new(10, 0, 0, 1),
+            mtu: 32 * 1024,
+            kind: IfaceKind::Cab(Box::new(cab_iface())),
+        };
+        assert!(iface.single_copy_capable());
+        assert_eq!(iface.tcp_mss(), 32 * 1024 - 40);
+        let eth = Iface {
+            id: IfaceId(1),
+            ip: Ipv4Addr::new(192, 168, 0, 1),
+            mtu: 1500,
+            kind: IfaceKind::Eth(EthIface::new(MacAddr::local(1))),
+        };
+        assert!(!eth.single_copy_capable());
+        assert_eq!(eth.tcp_mss(), 1460);
+    }
+}

@@ -1,0 +1,1189 @@
+//! The kernel façade: sockets + TCP/UDP/IP + drivers on one host.
+//!
+//! Every public entry point is one of the arrows in the paper's Figure 4:
+//! syscalls from user applications, the in-kernel application interface,
+//! frame arrivals from devices, DMA-completion interrupts, and timers. Each
+//! mutates protocol state and returns [`Effect`]s for the harness.
+//!
+//! CPU costs are charged per the machine model as the code walks the same
+//! layers the real kernel would: syscall entry, socket layer (including VM
+//! pin/map on the single-copy path, or the data copy on the traditional
+//! path), transport output/input (including the software checksum read on
+//! the traditional path), IP, and driver work.
+//!
+//! Split across submodules: construction + syscalls here, the transmit path
+//! in `output`, the receive/completion/timer paths in `input`.
+
+mod input;
+mod output;
+#[cfg(test)]
+mod tests;
+
+pub(crate) use input::replace_range_take;
+
+use crate::driver::{CabIface, EthIface, Iface, IfaceKind, SdmaPurpose};
+use crate::ip::Reassembler;
+use crate::route::RouteTable;
+use crate::sockbuf::UioCounters;
+use crate::socket::{BlockedRead, BlockedWrite, Owner, Socket, WaitingReader};
+use crate::tcp::{Tcb, TcpState};
+use crate::types::{
+    Effect, IfaceId, Proto, ReadResult, SockAddr, SockId, StackConfig, StackError, StackMode,
+    WriteResult,
+};
+use bytes::Bytes;
+use outboard_cab::{Cab, PacketId, SdmaDst, SdmaRx};
+use outboard_host::{Charge, HostMem, MachineConfig, MemorySystem, TaskId, UserMemory, VmSystem};
+use outboard_mbuf::{Chain, Mbuf, MbufData, MbufStats, UioDesc, UioRegion, WcabDesc};
+use outboard_sim::trace::Trace;
+use outboard_sim::{Dur, Time};
+use outboard_wire::ether::MacAddr;
+use outboard_wire::ipv4::IPV4_HEADER_LEN;
+use outboard_wire::udp::UDP_HEADER_LEN;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Kernel-level statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KernelStats {
+    /// IP packets transmitted.
+    pub tx_packets: u64,
+    /// IP packets received.
+    pub rx_packets: u64,
+    /// IP bytes transmitted.
+    pub tx_bytes: u64,
+    /// IP bytes received.
+    pub rx_bytes: u64,
+    /// Segments rejected by checksum verification.
+    pub csum_errors: u64,
+    /// Malformed/undeliverable IP packets.
+    pub ip_errors: u64,
+    /// Packets with no matching socket.
+    pub no_socket_drops: u64,
+    /// Transmissions dropped: CAB network memory exhausted.
+    pub tx_nomem_drops: u64,
+    /// RST segments emitted.
+    pub rst_sent: u64,
+    /// Send-queue ranges converted `M_UIO` to `M_WCAB` (§4.2).
+    pub uio_to_wcab: u64,
+    /// `M_UIO` chains copied to regular mbufs at a legacy driver (§5).
+    pub uio_to_regular: u64,
+    /// `M_WCAB` chains converted for legacy consumers (§5).
+    pub wcab_to_regular: u64,
+    /// Software (Read_C) checksums computed.
+    pub sw_checksums: u64,
+    /// Outboard checksum insertions used.
+    pub hw_checksums: u64,
+    /// IP fragments emitted.
+    pub frags_sent: u64,
+    /// IP fragments received into the reassembler.
+    pub frags_reassembled: u64,
+    /// ICMP echo replies generated.
+    pub icmp_echo_replies: u64,
+    /// Writes/reads that fell back to the traditional path on alignment.
+    pub aligned_fallbacks: u64,
+    /// Misaligned writes realigned by the §4.5 align-split extension.
+    pub align_splits: u64,
+    /// Retransmissions that re-DMAed only a fresh header (§4.3).
+    pub retransmit_header_only: u64,
+    /// Retransmissions that rebuilt a full packet (partial/misaligned).
+    pub retransmit_slow_path: u64,
+}
+
+/// Metadata accompanying a transmit packet down to the driver.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct TxMeta {
+    pub sock: Option<SockId>,
+    /// First sequence number of the payload (TCP).
+    pub seq_lo: u32,
+    /// True for TCP retransmissions (enables the header-only path).
+    pub retransmit: bool,
+    /// Free the outboard buffer right after MDMA (no retransmission need).
+    pub free_after_mdma: bool,
+}
+
+impl TxMeta {
+    pub fn plain() -> TxMeta {
+        TxMeta {
+            sock: None,
+            seq_lo: 0,
+            retransmit: false,
+            free_after_mdma: true,
+        }
+    }
+}
+
+/// One simulated host's kernel.
+pub struct Kernel {
+    /// Host name (diagnostics).
+    pub name: String,
+    /// The machine cost model.
+    pub machine: MachineConfig,
+    /// Stack configuration.
+    pub cfg: StackConfig,
+    /// Per-byte cost model.
+    pub memsys: MemorySystem,
+    /// VM pin/map bookkeeping and costs.
+    pub vm: VmSystem,
+    pub(crate) sockets: HashMap<SockId, Socket>,
+    next_sock: u32,
+    next_port: u16,
+    /// Bound (listener / datagram) sockets by port.
+    pub(crate) ports: HashMap<(Proto, u16), SockId>,
+    /// Fully-specified connections (proto, local, remote).
+    pub(crate) conns: HashMap<(Proto, SockAddr, SockAddr), SockId>,
+    /// Raw-IP protocol handlers: protocol number → kernel socket whose
+    /// queue receives matching datagrams' payloads (§5: in-kernel
+    /// applications "use TCP or UDP over IP, or raw IP").
+    pub(crate) raw_protos: HashMap<u8, SockId>,
+    /// Network interfaces, indexed by [`IfaceId`].
+    pub ifaces: Vec<Iface>,
+    /// The routing table.
+    pub routes: RouteTable,
+    pub(crate) reass: Reassembler,
+    pub(crate) uio: UioCounters,
+    pub(crate) fx: Vec<Effect>,
+    pub(crate) ip_id: u16,
+    iss: u32,
+    pub(crate) kq_serial: u64,
+    /// Protocol statistics.
+    pub stats: KernelStats,
+    /// Mbuf allocation statistics.
+    pub mbuf_stats: MbufStats,
+    /// Mechanism-level event trace.
+    pub trace: Trace,
+}
+
+impl Kernel {
+    /// A kernel with no interfaces, routes, or sockets.
+    pub fn new(name: &str, machine: MachineConfig, cfg: StackConfig) -> Kernel {
+        Kernel {
+            name: name.to_string(),
+            memsys: MemorySystem::new(machine.clone()),
+            vm: VmSystem::new(machine.clone(), cfg.lazy_vm),
+            machine,
+            cfg,
+            sockets: HashMap::new(),
+            next_sock: 1,
+            next_port: 20_000,
+            ports: HashMap::new(),
+            conns: HashMap::new(),
+            raw_protos: HashMap::new(),
+            ifaces: Vec::new(),
+            routes: RouteTable::new(),
+            reass: Reassembler::new(),
+            uio: UioCounters::new(),
+            fx: Vec::new(),
+            ip_id: 1,
+            iss: 10_000,
+            kq_serial: 1,
+            stats: KernelStats::default(),
+            mbuf_stats: MbufStats::default(),
+            trace: Trace::new(16 * 1024),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // configuration
+    // ------------------------------------------------------------------
+
+    /// The CAB configuration for this machine (Turbochannel speed applied).
+    pub fn cab_config(&self) -> outboard_cab::CabConfig {
+        outboard_cab::CabConfig {
+            tc_speed_scale: self.machine.tc_speed_scale,
+            ..outboard_cab::CabConfig::default()
+        }
+    }
+
+    /// Attach a CAB interface (build the device via [`Kernel::cab_config`]).
+    pub fn add_cab_iface(&mut self, ip: Ipv4Addr, cab: Cab, mtu: usize) -> IfaceId {
+        let id = IfaceId(self.ifaces.len() as u32);
+        self.ifaces.push(Iface {
+            id,
+            ip,
+            mtu,
+            kind: IfaceKind::Cab(Box::new(CabIface::new(cab))),
+        });
+        id
+    }
+
+    /// Attach a conventional Ethernet interface.
+    pub fn add_eth_iface(&mut self, ip: Ipv4Addr, mac: MacAddr, mtu: usize) -> IfaceId {
+        let id = IfaceId(self.ifaces.len() as u32);
+        self.ifaces.push(Iface {
+            id,
+            ip,
+            mtu,
+            kind: IfaceKind::Eth(EthIface::new(mac)),
+        });
+        id
+    }
+
+    /// Attach a loopback interface.
+    pub fn add_loopback(&mut self, ip: Ipv4Addr) -> IfaceId {
+        let id = IfaceId(self.ifaces.len() as u32);
+        self.ifaces.push(Iface {
+            id,
+            ip,
+            mtu: 32 * 1024,
+            kind: IfaceKind::Loopback,
+        });
+        id
+    }
+
+    /// Install a route.
+    pub fn add_route(&mut self, dest: Ipv4Addr, prefix_len: u8, iface: IfaceId) {
+        self.routes.add(dest, prefix_len, iface);
+    }
+
+    /// Static ARP entries for the HIPPI fabric / Ethernet segment.
+    pub fn add_arp_hippi(&mut self, iface: IfaceId, ip: Ipv4Addr, addr: u32) {
+        if let Some(cab) = self.ifaces[iface.0 as usize].cab() {
+            cab.arp.insert(ip, addr);
+        }
+    }
+
+    /// Static ARP entry for an Ethernet segment.
+    pub fn add_arp_ether(&mut self, iface: IfaceId, ip: Ipv4Addr, mac: MacAddr) {
+        if let IfaceKind::Eth(e) = &mut self.ifaces[iface.0 as usize].kind {
+            e.arp.insert(ip, mac);
+        }
+    }
+
+    /// Look up an interface.
+    pub fn iface(&self, id: IfaceId) -> &Iface {
+        &self.ifaces[id.0 as usize]
+    }
+
+    /// Inspect a socket (tests and harnesses).
+    pub fn socket_ref(&self, id: SockId) -> Option<&Socket> {
+        self.sockets.get(&id)
+    }
+
+    /// Take the accumulated effects.
+    pub fn take_effects(&mut self) -> Vec<Effect> {
+        std::mem::take(&mut self.fx)
+    }
+
+    // ------------------------------------------------------------------
+    // internal helpers
+    // ------------------------------------------------------------------
+
+    pub(crate) fn cpu(&mut self, us: f64, charge: Charge) {
+        if us > 0.0 {
+            self.fx.push(Effect::Cpu {
+                dur: Dur::from_micros_f64(us),
+                charge,
+            });
+        }
+    }
+
+    pub(crate) fn cpu_dur(&mut self, dur: Dur, charge: Charge) {
+        if !dur.is_zero() {
+            self.fx.push(Effect::Cpu { dur, charge });
+        }
+    }
+
+    pub(crate) fn wake(&mut self, task: TaskId, sock: SockId, charge: Charge) {
+        self.cpu(self.machine.cost_wakeup_us, charge);
+        self.fx.push(Effect::Wake { task, sock });
+    }
+
+    /// Temporarily detach a CAB interface so device calls can run while
+    /// other kernel state is borrowed.
+    pub(crate) fn with_cab<R>(
+        &mut self,
+        iface: IfaceId,
+        f: impl FnOnce(&mut Kernel, &mut CabIface) -> R,
+    ) -> R {
+        let idx = iface.0 as usize;
+        let kind = std::mem::replace(&mut self.ifaces[idx].kind, IfaceKind::Loopback);
+        let IfaceKind::Cab(mut cab) = kind else {
+            panic!("iface {iface:?} is not a CAB");
+        };
+        let r = f(self, &mut cab);
+        self.ifaces[idx].kind = IfaceKind::Cab(cab);
+        r
+    }
+
+    // ------------------------------------------------------------------
+    // socket syscalls
+    // ------------------------------------------------------------------
+
+    fn alloc_sock(&mut self, proto: Proto, owner: Owner) -> SockId {
+        let id = SockId(self.next_sock);
+        self.next_sock += 1;
+        self.sockets
+            .insert(id, Socket::new(id, proto, owner, self.cfg.sock_buf));
+        id
+    }
+
+    /// `socket(2)`: create an unbound user socket.
+    pub fn sys_socket(&mut self, proto: Proto) -> SockId {
+        self.alloc_sock(proto, Owner::User)
+    }
+
+    /// Create an in-kernel socket (share-semantics mbuf interface, §5).
+    pub fn kernel_socket(&mut self, proto: Proto) -> SockId {
+        self.alloc_sock(proto, Owner::Kernel)
+    }
+
+    /// `bind(2)`: claim a local port.
+    pub fn sys_bind(&mut self, sock: SockId, port: u16) -> Result<(), StackError> {
+        let proto = self.sockets.get(&sock).ok_or(StackError::BadSocket)?.proto;
+        if self.ports.contains_key(&(proto, port)) {
+            return Err(StackError::AddrInUse);
+        }
+        self.ports.insert((proto, port), sock);
+        let s = self.sockets.get_mut(&sock).unwrap();
+        s.local = Some(SockAddr::new(Ipv4Addr::UNSPECIFIED, port));
+        Ok(())
+    }
+
+    /// Nagle coalescing applies only to the traditional stack: a
+    /// single-copy write blocks until its data is transmitted, so holding
+    /// sub-MSS tails would deadlock the writer against the delayed-ACK
+    /// timer (and §7.2 notes the modified stack "does not coalesce").
+    pub(crate) fn effective_nagle(&self) -> bool {
+        self.cfg.nagle && self.cfg.mode == StackMode::Unmodified
+    }
+
+    /// `listen(2)`: turn a bound TCP socket into a listener.
+    pub fn sys_listen(&mut self, sock: SockId) -> Result<(), StackError> {
+        let nagle = self.effective_nagle();
+        let cfg = self.cfg.clone();
+        let s = self.sockets.get_mut(&sock).ok_or(StackError::BadSocket)?;
+        let buf = s.so_rcv.hiwat;
+        if s.proto != Proto::Tcp {
+            return Err(StackError::InvalidState("listen on non-TCP socket"));
+        }
+        let mut tcb = Tcb::new(&cfg, 0, nagle);
+        tcb.listen(536, buf);
+        s.tcb = Some(tcb);
+        Ok(())
+    }
+
+    pub(crate) fn alloc_port(&mut self, proto: Proto) -> u16 {
+        loop {
+            let p = self.next_port;
+            self.next_port = self.next_port.wrapping_add(1).max(20_000);
+            if !self.ports.contains_key(&(proto, p)) {
+                return p;
+            }
+        }
+    }
+
+    pub(crate) fn next_iss(&mut self) -> u32 {
+        self.iss = self.iss.wrapping_add(64_000);
+        self.iss
+    }
+
+    /// Active open. The caller blocks until the `Wake` for this socket.
+    pub fn sys_connect(
+        &mut self,
+        sock: SockId,
+        task: TaskId,
+        dst: SockAddr,
+        mem: &mut HostMem,
+        now: Time,
+    ) -> Result<Vec<Effect>, StackError> {
+        self.cpu(self.machine.cost_syscall_us, Charge::Syscall);
+        let iface_id = self.routes.lookup(dst.ip).ok_or(StackError::NoRoute)?;
+        let iface = &self.ifaces[iface_id.0 as usize];
+        let local_ip = iface.ip;
+        let mss = iface.tcp_mss();
+        let port = self.alloc_port(Proto::Tcp);
+        let local = SockAddr::new(local_ip, port);
+
+        let nagle = self.effective_nagle();
+        let cfg = self.cfg.clone();
+        let iss = self.next_iss();
+        {
+            let s = self.sockets.get_mut(&sock).ok_or(StackError::BadSocket)?;
+            if s.remote.is_some() {
+                return Err(StackError::AlreadyConnected);
+            }
+            let buf = s.so_rcv.hiwat;
+            s.local = Some(local);
+            s.remote = Some(dst);
+            s.iface_hint = Some(iface_id);
+            let mut tcb = Tcb::new(&cfg, iss, nagle);
+            tcb.connect(mss, buf);
+            s.tcb = Some(tcb);
+            s.connector = Some(task);
+        }
+        self.conns.insert((Proto::Tcp, local, dst), sock);
+        self.ports.insert((Proto::Tcp, port), sock);
+        self.tcp_send(sock, mem, now, false);
+        Ok(self.take_effects())
+    }
+
+    /// Accept an established connection from a listener's queue; `None`
+    /// registers the task for a wake when one arrives.
+    pub fn sys_accept(
+        &mut self,
+        listener: SockId,
+        task: TaskId,
+    ) -> Result<Option<SockId>, StackError> {
+        let s = self.sockets.get_mut(&listener).ok_or(StackError::BadSocket)?;
+        if let Some(child) = s.accept_queue.pop_front() {
+            s.acceptor = None;
+            Ok(Some(child))
+        } else {
+            s.acceptor = Some(task);
+            Ok(None)
+        }
+    }
+
+    /// `setsockopt(SO_SNDBUF/SO_RCVBUF)`: resize both socket buffers. Only
+    /// valid before a TCP connection is established (the window scale is
+    /// negotiated from the buffer size on SYN).
+    pub fn sys_setsockbuf(&mut self, sock: SockId, bytes: usize) -> Result<(), StackError> {
+        let s = self.sockets.get_mut(&sock).ok_or(StackError::BadSocket)?;
+        if s.tcb.as_ref().map(|t| t.state.is_synchronized()).unwrap_or(false) {
+            return Err(StackError::InvalidState("buffers fixed after handshake"));
+        }
+        s.so_snd.hiwat = bytes;
+        s.so_rcv.hiwat = bytes;
+        Ok(())
+    }
+
+    /// `sendto(2)`: one datagram to an explicit destination from an
+    /// unconnected UDP socket (binds an ephemeral local port on first use).
+    #[allow(clippy::too_many_arguments)]
+    pub fn sys_sendto(
+        &mut self,
+        sock: SockId,
+        task: TaskId,
+        vaddr: u64,
+        len: usize,
+        dst: SockAddr,
+        mem: &mut HostMem,
+        now: Time,
+    ) -> Result<(WriteResult, Vec<Effect>), StackError> {
+        self.cpu(self.machine.cost_syscall_us, Charge::Syscall);
+        {
+            let s = self.sockets.get(&sock).ok_or(StackError::BadSocket)?;
+            if s.proto != Proto::Udp {
+                return Err(StackError::InvalidState("sendto is UDP-only"));
+            }
+        }
+        // Ensure a local binding and a per-destination iface hint.
+        let iface_id = self.routes.lookup(dst.ip).ok_or(StackError::NoRoute)?;
+        let local_ip = self.ifaces[iface_id.0 as usize].ip;
+        let local = match self.sockets[&sock].local {
+            Some(l) if l.ip != Ipv4Addr::UNSPECIFIED => l,
+            Some(l) => {
+                // Bound port, unspecified address: fill in per route.
+                let local = SockAddr::new(local_ip, l.port);
+                self.sockets.get_mut(&sock).unwrap().local = Some(local);
+                local
+            }
+            None => {
+                let port = self.alloc_port(Proto::Udp);
+                let local = SockAddr::new(local_ip, port);
+                self.sockets.get_mut(&sock).unwrap().local = Some(local);
+                self.ports.insert((Proto::Udp, port), sock);
+                local
+            }
+        };
+        {
+            let s = self.sockets.get_mut(&sock).unwrap();
+            s.iface_hint = Some(iface_id);
+            s.remote = Some(dst);
+        }
+        // Reuse the connected-UDP write machinery.
+        let r = self.udp_write(sock, task, vaddr, len, mem, now);
+        let _ = local;
+        r
+    }
+
+    /// `recvfrom(2)`: like `sys_read` but also reports the datagram's
+    /// source address.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sys_recvfrom(
+        &mut self,
+        sock: SockId,
+        task: TaskId,
+        vaddr: u64,
+        len: usize,
+        mem: &mut HostMem,
+        now: Time,
+    ) -> Result<(ReadResult, Option<SockAddr>, Vec<Effect>), StackError> {
+        let from = self
+            .sockets
+            .get(&sock)
+            .ok_or(StackError::BadSocket)?
+            .dgram_bounds
+            .front()
+            .map(|(_, f)| *f);
+        let (r, fx) = self.sys_read(sock, task, vaddr, len, mem, now)?;
+        Ok((r, from, fx))
+    }
+
+    /// Bind a UDP socket's default destination.
+    pub fn sys_connect_udp(&mut self, sock: SockId, dst: SockAddr) -> Result<(), StackError> {
+        let iface_id = self.routes.lookup(dst.ip).ok_or(StackError::NoRoute)?;
+        let local_ip = self.ifaces[iface_id.0 as usize].ip;
+        let port = self.alloc_port(Proto::Udp);
+        let s = self.sockets.get_mut(&sock).ok_or(StackError::BadSocket)?;
+        s.local = Some(SockAddr::new(local_ip, port));
+        s.remote = Some(dst);
+        s.iface_hint = Some(iface_id);
+        self.ports.insert((Proto::Udp, port), sock);
+        Ok(())
+    }
+
+    /// Application close.
+    pub fn sys_close(&mut self, sock: SockId, mem: &mut HostMem, now: Time) -> Vec<Effect> {
+        self.cpu(self.machine.cost_syscall_us, Charge::Syscall);
+        let has_tcb = self
+            .sockets
+            .get(&sock)
+            .map(|s| s.tcb.is_some())
+            .unwrap_or(false);
+        if has_tcb {
+            let closed = {
+                let s = self.sockets.get_mut(&sock).unwrap();
+                let tcb = s.tcb.as_mut().unwrap();
+                tcb.close();
+                tcb.state == TcpState::Closed
+            };
+            if closed {
+                self.teardown(sock);
+            } else {
+                self.tcp_send(sock, mem, now, false);
+            }
+        } else if self.sockets.contains_key(&sock) {
+            self.teardown(sock);
+        }
+        self.take_effects()
+    }
+
+    /// `write(2)`.
+    pub fn sys_write(
+        &mut self,
+        sock: SockId,
+        task: TaskId,
+        vaddr: u64,
+        len: usize,
+        mem: &mut HostMem,
+        now: Time,
+    ) -> Result<(WriteResult, Vec<Effect>), StackError> {
+        self.cpu(self.machine.cost_syscall_us, Charge::Syscall);
+        let proto = self.sockets.get(&sock).ok_or(StackError::BadSocket)?.proto;
+        match proto {
+            Proto::Tcp => self.tcp_write(sock, task, vaddr, len, mem, now),
+            Proto::Udp => self.udp_write(sock, task, vaddr, len, mem, now),
+        }
+    }
+
+    fn tcp_write(
+        &mut self,
+        sock: SockId,
+        task: TaskId,
+        vaddr: u64,
+        len: usize,
+        mem: &mut HostMem,
+        now: Time,
+    ) -> Result<(WriteResult, Vec<Effect>), StackError> {
+        {
+            let s = self.sockets.get(&sock).ok_or(StackError::BadSocket)?;
+            let tcb = s.tcb.as_ref().ok_or(StackError::NotConnected)?;
+            if !tcb.state.can_send() {
+                return Err(StackError::NotConnected);
+            }
+            if s.blocked_write.is_some() {
+                return Err(StackError::InvalidState("write already in progress"));
+            }
+        }
+        let uio_path = self.use_uio_path(sock, vaddr, len);
+        let region = UioRegion { task, base: vaddr };
+        let counter = if uio_path {
+            Some(self.uio.create(task, sock, len))
+        } else {
+            None
+        };
+        {
+            let s = self.sockets.get_mut(&sock).unwrap();
+            s.blocked_write = Some(BlockedWrite {
+                task,
+                region,
+                total: len,
+                appended: 0,
+                counter,
+                uio_path,
+            });
+        }
+        self.append_write_chunks(sock, mem, Charge::Syscall, now);
+        self.tcp_send(sock, mem, now, false);
+
+        let s = self.sockets.get_mut(&sock).unwrap();
+        // The legacy conversion layer may have completed the write
+        // synchronously (UIO data copied at the driver boundary, counter
+        // drained, blocked_write cleared).
+        let Some(bw) = s.blocked_write.as_ref().copied() else {
+            return Ok((WriteResult::Done { bytes: len }, self.take_effects()));
+        };
+        // Single-copy writes complete only when the DMA counter drains,
+        // which is never synchronous; traditional writes complete once the
+        // data is copied into the socket buffer.
+        if !bw.uio_path && bw.appended == bw.total {
+            s.blocked_write = None;
+            Ok((WriteResult::Done { bytes: len }, self.take_effects()))
+        } else {
+            Ok((
+                WriteResult::Blocked {
+                    accepted: bw.appended,
+                },
+                self.take_effects(),
+            ))
+        }
+    }
+
+    /// §4.4.3 + §4.5: which path does this write take?
+    fn use_uio_path(&mut self, sock: SockId, vaddr: u64, len: usize) -> bool {
+        if self.cfg.mode != StackMode::SingleCopy {
+            return false;
+        }
+        let s = &self.sockets[&sock];
+        let iface_ok = s
+            .iface_hint
+            .map(|i| self.ifaces[i.0 as usize].single_copy_capable())
+            .unwrap_or(false);
+        if !iface_ok {
+            return false;
+        }
+        // Word alignment is a hard constraint (§4.5) — unless the
+        // align-split extension is on, which realigns with a short copied
+        // fragment and DMAs the rest ("might pay off for very large
+        // writes"; the paper left it unimplemented).
+        if !vaddr.is_multiple_of(4) {
+            if self.cfg.align_split && (self.cfg.force_single_copy || len >= self.cfg.uio_threshold)
+            {
+                self.stats.align_splits += 1;
+                return true;
+            }
+            self.stats.aligned_fallbacks += 1;
+            return false;
+        }
+        self.cfg.force_single_copy || len >= self.cfg.uio_threshold
+    }
+
+    /// Move as much as possible of the blocked write into `so_snd`,
+    /// mapping/pinning (single-copy) or copying (traditional) as we go —
+    /// "one socket buffer worth at a time, as data is handed down" (§4.4.1).
+    pub(crate) fn append_write_chunks(
+        &mut self,
+        sock: SockId,
+        mem: &mut HostMem,
+        charge: Charge,
+        now: Time,
+    ) {
+        loop {
+            let Some(s) = self.sockets.get(&sock) else {
+                return;
+            };
+            let Some(bw) = s.blocked_write else { return };
+            let space = s.so_snd.space();
+            let remaining = bw.total - bw.appended;
+            if space == 0 || remaining == 0 {
+                return;
+            }
+            let mss = s.tcb.as_ref().map(|t| t.mss).unwrap_or(1460);
+            let chunk = remaining.min(space).min(mss);
+            // Socket-layer per-packet work.
+            self.cpu(self.machine.cost_socket_pkt_us, charge);
+            let cur_addr = bw.region.base + bw.appended as u64;
+            if bw.uio_path && !cur_addr.is_multiple_of(4) {
+                // Align-split extension (§4.5): copy the 1-3 bytes up to
+                // the next word boundary through a kernel mbuf so the rest
+                // of the write can be DMAed.
+                assert!(self.cfg.align_split, "unaligned UIO without align_split");
+                let fix = (4 - (cur_addr % 4) as usize).min(remaining);
+                let cost = self.memsys.copy_cost(fix, fix.max(64));
+                self.cpu_dur(cost, charge);
+                let mut buf = vec![0u8; fix];
+                mem.read_user(bw.region.task, cur_addr, &mut buf)
+                    .expect("user write buffer readable");
+                let m = Mbuf::kernel(Bytes::from(buf));
+                self.mbuf_stats.count(&m);
+                self.sockets.get_mut(&sock).unwrap().so_snd.chain.append(m);
+                // The copy satisfies copy semantics for these bytes now.
+                if let Some(c) = bw.counter {
+                    self.uio.issue(c, fix).expect("live counter");
+                    if let Some(st) = self.uio.complete(c, fix) {
+                        // A sub-word write drained entirely via the copy.
+                        let s = self.sockets.get_mut(&sock).unwrap();
+                        s.blocked_write = None;
+                        self.wake(st.task, st.sock, charge);
+                        return;
+                    }
+                }
+                let s = self.sockets.get_mut(&sock).unwrap();
+                s.blocked_write.as_mut().unwrap().appended += fix;
+                // Flush the fragment as its own short packet (the paper:
+                // "send a first packet of 16 bits") so every subsequent
+                // segment boundary lands word-aligned in user space.
+                self.tcp_send(sock, mem, now, false);
+                continue;
+            }
+            if bw.uio_path {
+                // Pin + map the chunk's pages in the caller's context.
+                let cost =
+                    self.vm
+                        .prepare(bw.region.task, bw.region.base + bw.appended as u64, chunk);
+                self.cpu_dur(cost, charge);
+                let desc = UioDesc {
+                    region: bw.region,
+                    off: bw.appended as u64,
+                    len: chunk,
+                    counter: bw.counter,
+                };
+                if let Some(c) = bw.counter {
+                    self.uio.issue(c, chunk).expect("live counter");
+                }
+                let m = Mbuf::uio(desc);
+                self.mbuf_stats.count(&m);
+                self.sockets.get_mut(&sock).unwrap().so_snd.chain.append(m);
+            } else {
+                // Traditional path: copy through kernel buffers.
+                let cost = self.memsys.copy_cost(chunk, bw.total.max(chunk));
+                self.cpu_dur(cost, charge);
+                let mut buf = vec![0u8; chunk];
+                mem.read_user(bw.region.task, bw.region.base + bw.appended as u64, &mut buf)
+                    .expect("user write buffer readable");
+                let m = Mbuf::kernel(Bytes::from(buf));
+                self.mbuf_stats.count(&m);
+                self.sockets.get_mut(&sock).unwrap().so_snd.chain.append(m);
+            }
+            let s = self.sockets.get_mut(&sock).unwrap();
+            s.blocked_write.as_mut().unwrap().appended += chunk;
+        }
+    }
+
+    /// `read(2)`.
+    pub fn sys_read(
+        &mut self,
+        sock: SockId,
+        task: TaskId,
+        vaddr: u64,
+        len: usize,
+        mem: &mut HostMem,
+        now: Time,
+    ) -> Result<(ReadResult, Vec<Effect>), StackError> {
+        self.cpu(self.machine.cost_syscall_us, Charge::Syscall);
+        let take = {
+            let s = self.sockets.get_mut(&sock).ok_or(StackError::BadSocket)?;
+            if s.blocked_read.is_some() {
+                return Err(StackError::InvalidState("read already in progress"));
+            }
+            if s.so_rcv.is_empty() {
+                if s.rcv_eof {
+                    return Ok((ReadResult::Eof, self.take_effects()));
+                }
+                s.waiting_reader = Some(WaitingReader { task });
+                return Ok((ReadResult::WouldBlock, self.take_effects()));
+            }
+            match s.proto {
+                Proto::Udp => {
+                    let (dlen, _) = *s.dgram_bounds.front().expect("bounds track chain");
+                    let take = dlen.min(len).min(s.so_rcv.len());
+                    let (dlen_mut, _) = s.dgram_bounds.front_mut().unwrap();
+                    *dlen_mut -= take;
+                    if *dlen_mut == 0 {
+                        s.dgram_bounds.pop_front();
+                    }
+                    take
+                }
+                Proto::Tcp => s.so_rcv.len().min(len),
+            }
+        };
+        let chunk = {
+            let s = self.sockets.get_mut(&sock).unwrap();
+            s.so_rcv.chain.split_front(take)
+        };
+
+        let mut dma_bytes = 0usize;
+        let mut dst_off = 0usize;
+        for m in chunk.iter() {
+            let mlen = m.len();
+            match m.data() {
+                MbufData::Kernel(b) => {
+                    let cost = self.memsys.copy_cost(b.len(), take);
+                    self.cpu_dur(cost, Charge::Syscall);
+                    mem.write_user(task, vaddr + dst_off as u64, b)
+                        .expect("user read buffer writable");
+                }
+                MbufData::Wcab(d) => {
+                    let user_dst = vaddr + dst_off as u64;
+                    dma_bytes += d.len;
+                    let aligned = user_dst.is_multiple_of(4);
+                    if aligned {
+                        let cost = self.vm.prepare(task, user_dst, d.len);
+                        self.cpu_dur(cost, Charge::Syscall);
+                    } else {
+                        self.stats.aligned_fallbacks += 1;
+                    }
+                    self.issue_rx_copyout(sock, *d, task, user_dst, aligned, mem, now);
+                }
+                MbufData::Uio(_) => unreachable!("M_UIO never appears in so_rcv"),
+            }
+            self.cpu(self.machine.cost_socket_pkt_us, Charge::Syscall);
+            dst_off += mlen;
+        }
+        // Receive-window update: tell the peer about the space we freed.
+        self.maybe_window_update(sock, mem, now);
+
+        if dma_bytes > 0 {
+            let counter = self.uio.create(task, sock, dma_bytes);
+            self.uio.issue(counter, dma_bytes).unwrap();
+            let s = self.sockets.get_mut(&sock).unwrap();
+            s.blocked_read = Some(BlockedRead {
+                task,
+                bytes: take,
+                counter,
+                pinned_vaddr: vaddr,
+                pinned_len: take,
+            });
+            Ok((ReadResult::BlockedDma { bytes: take }, self.take_effects()))
+        } else {
+            Ok((ReadResult::Done { bytes: take }, self.take_effects()))
+        }
+    }
+
+    /// Issue the copy-out SDMA for one `M_WCAB` descriptor of a read.
+    #[allow(clippy::too_many_arguments)]
+    fn issue_rx_copyout(
+        &mut self,
+        sock: SockId,
+        d: WcabDesc,
+        task: TaskId,
+        user_dst: u64,
+        aligned: bool,
+        mem: &mut HostMem,
+        now: Time,
+    ) {
+        self.cpu(self.machine.cost_driver_pkt_us, Charge::Syscall);
+        let iface_id = IfaceId(d.cab);
+        let packet = PacketId(d.packet);
+        self.with_cab(iface_id, |k, cab| {
+            // Free the outboard buffer once every payload byte is out.
+            let free = {
+                let rem = cab
+                    .rx_remaining
+                    .get_mut(&packet)
+                    .expect("rx packet tracked");
+                *rem -= d.len;
+                *rem == 0
+            };
+            if free {
+                cab.rx_remaining.remove(&packet);
+            }
+            let dst = if aligned {
+                SdmaDst::User {
+                    task,
+                    vaddr: user_dst,
+                }
+            } else {
+                // §4.5: unaligned reads fall back through kernel buffers;
+                // the completion handler finishes with a CPU copy.
+                SdmaDst::Kernel
+            };
+            let token = cab.issue(SdmaPurpose::RxToUser {
+                sock,
+                bytes: d.len,
+                copy_dst: (!aligned).then_some((task, user_dst)),
+            });
+            let req = SdmaRx {
+                packet,
+                src_off: d.off,
+                len: d.len,
+                dst,
+                free_packet: free,
+                interrupt_on_complete: true,
+                token,
+            };
+            match cab.cab.sdma_rx(req, now, mem) {
+                Ok(ev) => k.fx.push(Effect::Cab {
+                    iface: iface_id,
+                    event: ev,
+                }),
+                Err(e) => panic!("sdma_rx failed: {e}"),
+            }
+        });
+    }
+
+    /// Advertise newly-freed receive space when it has grown enough
+    /// (BSD: by two segments or half the buffer).
+    pub(crate) fn maybe_window_update(&mut self, sock: SockId, mem: &mut HostMem, now: Time) {
+        let needs = {
+            let Some(s) = self.sockets.get(&sock) else {
+                return;
+            };
+            let Some(tcb) = s.tcb.as_ref() else { return };
+            if !tcb.state.is_synchronized() {
+                return;
+            }
+            let space = s.so_rcv.space();
+            let adv = outboard_wire::tcp::seq::diff(tcb.rcv_adv, tcb.rcv_nxt) as usize;
+            space >= adv + 2 * tcb.mss || space >= adv + self.cfg.sock_buf / 2
+        };
+        if needs {
+            self.tcp_send(sock, mem, now, true);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // in-kernel application interface (§5)
+    // ------------------------------------------------------------------
+
+    /// Share-semantics send over UDP: the chain's mbufs are handed to the
+    /// stack as-is.
+    pub fn kernel_sendto(
+        &mut self,
+        sock: SockId,
+        chain: Chain,
+        dst: SockAddr,
+        mem: &mut HostMem,
+        now: Time,
+    ) -> Result<Vec<Effect>, StackError> {
+        {
+            let s = self.sockets.get(&sock).ok_or(StackError::BadSocket)?;
+            assert_eq!(s.owner, Owner::Kernel, "kernel_sendto on a user socket");
+        }
+        let local = match self.sockets[&sock].local {
+            Some(l) => l,
+            None => {
+                let port = self.alloc_port(Proto::Udp);
+                let iface_id = self.routes.lookup(dst.ip).ok_or(StackError::NoRoute)?;
+                let local = SockAddr::new(self.ifaces[iface_id.0 as usize].ip, port);
+                let s = self.sockets.get_mut(&sock).unwrap();
+                s.local = Some(local);
+                self.ports.insert((Proto::Udp, port), sock);
+                local
+            }
+        };
+        self.udp_output(sock, local, dst, chain, mem, now);
+        Ok(self.take_effects())
+    }
+
+    /// Share-semantics stream send for an in-kernel TCP socket: the chain's
+    /// mbufs are appended to the send queue directly — "the communication
+    /// API of in-kernel applications often has share semantics, with the
+    /// mbufs being the shared buffers" (§5). Returns the bytes accepted
+    /// (bounded by socket-buffer space; kernel apps poll/retry).
+    pub fn kernel_send(
+        &mut self,
+        sock: SockId,
+        mut chain: Chain,
+        mem: &mut HostMem,
+        now: Time,
+    ) -> Result<usize, StackError> {
+        let accepted = {
+            let s = self.sockets.get_mut(&sock).ok_or(StackError::BadSocket)?;
+            assert_eq!(s.owner, Owner::Kernel, "kernel_send on a user socket");
+            if s.proto != Proto::Tcp {
+                return Err(StackError::InvalidState("kernel_send is TCP-only"));
+            }
+            let tcb = s.tcb.as_ref().ok_or(StackError::NotConnected)?;
+            if !tcb.state.can_send() {
+                return Err(StackError::NotConnected);
+            }
+            let space = s.so_snd.space();
+            if chain.len() > space {
+                chain.truncate(space);
+            }
+            let n = chain.len();
+            s.so_snd.chain.concat(chain);
+            n
+        };
+        self.cpu(self.machine.cost_socket_pkt_us, Charge::Syscall);
+        self.tcp_send(sock, mem, now, false);
+        Ok(accepted)
+    }
+
+    /// Close an in-kernel socket's connection (FIN).
+    pub fn kernel_close(&mut self, sock: SockId, mem: &mut HostMem, now: Time) -> Vec<Effect> {
+        self.sys_close(sock, mem, now)
+    }
+
+    /// Create a listening in-kernel TCP socket on `port`; established
+    /// children appear on its accept queue and are themselves
+    /// kernel-owned (their delivery runs through the conversion queue).
+    pub fn kernel_listen(&mut self, port: u16) -> Result<SockId, StackError> {
+        let s = self.kernel_socket(Proto::Tcp);
+        self.sys_bind(s, port)?;
+        self.sys_listen(s)?;
+        Ok(s)
+    }
+
+    /// Pop an established child from an in-kernel listener.
+    pub fn kernel_accept(&mut self, listener: SockId) -> Option<SockId> {
+        let s = self.sockets.get_mut(&listener)?;
+        s.accept_queue.pop_front()
+    }
+
+    /// After an in-kernel consumer drains its queue, advertise the freed
+    /// receive window (the socket layer does this implicitly for user
+    /// reads; kernel consumers call it explicitly).
+    pub fn kernel_window_update(&mut self, sock: SockId, mem: &mut HostMem, now: Time) -> Vec<Effect> {
+        self.maybe_window_update(sock, mem, now);
+        self.take_effects()
+    }
+
+    /// Register an in-kernel socket as the raw-IP handler for `proto`.
+    /// Matching datagrams are queued (with `M_WCAB` conversion) on it.
+    pub fn kernel_register_raw(&mut self, proto: u8, sock: SockId) -> Result<(), StackError> {
+        let s = self.sockets.get(&sock).ok_or(StackError::BadSocket)?;
+        assert_eq!(s.owner, Owner::Kernel, "raw handlers are kernel sockets");
+        self.raw_protos.insert(proto, sock);
+        Ok(())
+    }
+
+    /// Send a raw IP datagram from an in-kernel application: the chain is
+    /// the entire transport payload for `proto`.
+    pub fn kernel_send_raw(
+        &mut self,
+        proto: u8,
+        dst: Ipv4Addr,
+        chain: Chain,
+        mem: &mut HostMem,
+        now: Time,
+    ) -> Result<Vec<Effect>, StackError> {
+        let iface_id = self.routes.lookup(dst).ok_or(StackError::NoRoute)?;
+        let src = self.ifaces[iface_id.0 as usize].ip;
+        self.cpu(self.machine.cost_ip_us, Charge::Syscall);
+        self.ip_output(src, dst, proto, chain, iface_id, TxMeta::plain(), mem, now);
+        Ok(self.take_effects())
+    }
+
+    /// Share-semantics receive: ready (fully converted) chains in arrival
+    /// order (§5's ordering requirement).
+    pub fn kernel_recv(&mut self, sock: SockId) -> Option<(Chain, SockAddr)> {
+        let s = self.sockets.get_mut(&sock)?;
+        if s.kq.front().map(|e| e.converting == 0).unwrap_or(false) {
+            let e = s.kq.pop_front().unwrap();
+            Some((e.chain, e.from))
+        } else {
+            None
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // UDP write
+    // ------------------------------------------------------------------
+
+    fn udp_write(
+        &mut self,
+        sock: SockId,
+        task: TaskId,
+        vaddr: u64,
+        len: usize,
+        mem: &mut HostMem,
+        now: Time,
+    ) -> Result<(WriteResult, Vec<Effect>), StackError> {
+        let (local, remote) = {
+            let s = self.sockets.get(&sock).ok_or(StackError::BadSocket)?;
+            match (s.local, s.remote) {
+                (Some(l), Some(r)) => (l, r),
+                _ => return Err(StackError::NotConnected),
+            }
+        };
+        if len + UDP_HEADER_LEN + IPV4_HEADER_LEN > 65_535 {
+            return Err(StackError::MessageTooBig);
+        }
+        let fits_mtu = {
+            let mtu = self.sockets[&sock]
+                .iface_hint
+                .map(|i| self.ifaces[i.0 as usize].mtu)
+                .unwrap_or(1500);
+            len + UDP_HEADER_LEN + IPV4_HEADER_LEN <= mtu
+        };
+        // Fragmented datagrams take the traditional path: the CAB inserts a
+        // checksum per *packet*, but the UDP checksum spans the datagram.
+        let uio_path = fits_mtu && self.use_uio_path(sock, vaddr, len);
+        let region = UioRegion { task, base: vaddr };
+        let mut chain = Chain::new();
+        let counter = if uio_path {
+            let counter = self.uio.create(task, sock, len);
+            self.uio.issue(counter, len).unwrap();
+            let cost = self.vm.prepare(task, vaddr, len);
+            self.cpu_dur(cost, Charge::Syscall);
+            chain.append(Mbuf::uio(UioDesc {
+                region,
+                off: 0,
+                len,
+                counter: Some(counter),
+            }));
+            Some(counter)
+        } else {
+            let cost = self.memsys.copy_cost(len, len.max(4096));
+            self.cpu_dur(cost, Charge::Syscall);
+            let mut buf = vec![0u8; len];
+            mem.read_user(task, vaddr, &mut buf).expect("readable");
+            chain.append(Mbuf::kernel(Bytes::from(buf)));
+            None
+        };
+        self.cpu(self.machine.cost_socket_pkt_us, Charge::Syscall);
+        self.udp_output(sock, local, remote, chain, mem, now);
+        // The legacy conversion layer may have drained the counter
+        // synchronously (route fell back to a conventional device).
+        let still_live = counter.map(|c| self.uio.get(c).is_some()).unwrap_or(false);
+        if let (Some(counter), true) = (counter, still_live) {
+            let s = self.sockets.get_mut(&sock).unwrap();
+            s.blocked_write = Some(BlockedWrite {
+                task,
+                region,
+                total: len,
+                appended: len,
+                counter: Some(counter),
+                uio_path: true,
+            });
+            Ok((WriteResult::Blocked { accepted: len }, self.take_effects()))
+        } else {
+            Ok((WriteResult::Done { bytes: len }, self.take_effects()))
+        }
+    }
+
+    /// Tear a socket down: free outboard buffers, cancel counters, unbind.
+    pub(crate) fn teardown(&mut self, sock: SockId) {
+        let Some(s) = self.sockets.remove(&sock) else {
+            return;
+        };
+        if let Some(local) = s.local {
+            self.ports.remove(&(s.proto, local.port));
+            if let Some(remote) = s.remote {
+                self.conns.remove(&(s.proto, local, remote));
+            }
+        }
+        // Free outboard buffers still referenced by either buffer.
+        for chain in [&s.so_snd.chain, &s.so_rcv.chain] {
+            let descs: Vec<WcabDesc> = chain
+                .iter()
+                .filter_map(|m| match m.data() {
+                    MbufData::Wcab(d) => Some(*d),
+                    _ => None,
+                })
+                .collect();
+            for d in descs {
+                let iface_id = IfaceId(d.cab);
+                let packet = PacketId(d.packet);
+                self.with_cab(iface_id, |_k, cab| {
+                    cab.tx_remaining.remove(&packet);
+                    cab.tx_hdr_len.remove(&packet);
+                    cab.rx_remaining.remove(&packet);
+                    cab.cab.free_packet(packet);
+                });
+            }
+        }
+        if let Some(bw) = s.blocked_write {
+            if let Some(c) = bw.counter {
+                self.uio.cancel(c);
+            }
+        }
+        if let Some(br) = s.blocked_read {
+            self.uio.cancel(br.counter);
+        }
+    }
+}

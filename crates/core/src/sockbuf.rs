@@ -1,0 +1,189 @@
+//! Socket buffers and UIO counters.
+//!
+//! [`SockBuf`] is BSD's `sockbuf`: a bounded mbuf chain with a high-water
+//! mark. [`UioCounters`] implements §4.4.2: a `write` on the single-copy
+//! path may only return once *all* of its bytes have been copied outboard
+//! (copy semantics), and a `read` only once all DMAs filling the user buffer
+//! have completed. Each blocked operation owns a counter tracking its
+//! outstanding bytes; drivers decrement it from end-of-DMA handling and the
+//! socket layer wakes the process when it drains.
+
+use crate::types::{SockId, StackError};
+use outboard_mbuf::{Chain, TaskId, UioCounterId};
+use std::collections::HashMap;
+
+/// A bounded socket buffer.
+#[derive(Clone, Debug)]
+pub struct SockBuf {
+    /// The buffered data (possibly mixed mbuf formats).
+    pub chain: Chain,
+    /// High-water mark in bytes.
+    pub hiwat: usize,
+}
+
+impl SockBuf {
+    /// An empty buffer bounded at `hiwat` bytes.
+    pub fn new(hiwat: usize) -> SockBuf {
+        SockBuf {
+            chain: Chain::new(),
+            hiwat,
+        }
+    }
+
+    /// Buffered bytes.
+    pub fn len(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.chain.is_empty()
+    }
+
+    /// Free space below the high-water mark.
+    pub fn space(&self) -> usize {
+        self.hiwat.saturating_sub(self.chain.len())
+    }
+}
+
+/// State of one blocked single-copy operation (§4.4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UioState {
+    /// The blocked process.
+    pub task: TaskId,
+    /// The socket the operation runs on.
+    pub sock: SockId,
+    /// Bytes queued/issued but whose DMA has not completed yet.
+    pub outstanding: usize,
+    /// Bytes of the operation not yet handed to the stack (socket buffer was
+    /// full; the socket layer continues incrementally as space frees).
+    pub unissued: usize,
+}
+
+impl UioState {
+    /// The operation is complete and its process may be woken.
+    pub fn drained(&self) -> bool {
+        self.outstanding == 0 && self.unissued == 0
+    }
+}
+
+/// Registry of live UIO counters on one host.
+#[derive(Debug, Default)]
+pub struct UioCounters {
+    next: u64,
+    live: HashMap<UioCounterId, UioState>,
+}
+
+impl UioCounters {
+    /// An empty registry.
+    pub fn new() -> UioCounters {
+        UioCounters::default()
+    }
+
+    /// Register a blocked operation covering `total` bytes.
+    pub fn create(&mut self, task: TaskId, sock: SockId, total: usize) -> UioCounterId {
+        let id = UioCounterId(self.next);
+        self.next += 1;
+        self.live.insert(
+            id,
+            UioState {
+                task,
+                sock,
+                outstanding: 0,
+                unissued: total,
+            },
+        );
+        id
+    }
+
+    /// Inspect a live counter.
+    pub fn get(&self, id: UioCounterId) -> Option<&UioState> {
+        self.live.get(&id)
+    }
+
+    /// Move `bytes` from un-issued to outstanding (data handed down to the
+    /// transport layer / DMA issued).
+    pub fn issue(&mut self, id: UioCounterId, bytes: usize) -> Result<(), StackError> {
+        let st = self.live.get_mut(&id).ok_or(StackError::BadSocket)?;
+        assert!(st.unissued >= bytes, "issuing more than remains");
+        st.unissued -= bytes;
+        st.outstanding += bytes;
+        Ok(())
+    }
+
+    /// Record DMA completion of `bytes`; returns the state if the whole
+    /// operation just drained (caller wakes the process and removes it).
+    pub fn complete(&mut self, id: UioCounterId, bytes: usize) -> Option<UioState> {
+        let st = self.live.get_mut(&id)?;
+        assert!(st.outstanding >= bytes, "completing more than outstanding");
+        st.outstanding -= bytes;
+        if st.drained() {
+            self.live.remove(&id)
+        } else {
+            None
+        }
+    }
+
+    /// Drop a counter without waking (socket torn down).
+    pub fn cancel(&mut self, id: UioCounterId) {
+        self.live.remove(&id);
+    }
+
+    /// Counters not yet drained.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sockbuf_space() {
+        let mut sb = SockBuf::new(100);
+        assert_eq!(sb.space(), 100);
+        sb.chain.append(outboard_mbuf::Mbuf::kernel_copy(&[0u8; 60]));
+        assert_eq!(sb.space(), 40);
+        sb.chain.append(outboard_mbuf::Mbuf::kernel_copy(&[0u8; 60]));
+        assert_eq!(sb.space(), 0, "space saturates below zero");
+        assert_eq!(sb.len(), 120);
+    }
+
+    #[test]
+    fn counter_lifecycle_models_a_blocked_write() {
+        let mut reg = UioCounters::new();
+        let id = reg.create(TaskId(1), SockId(0), 64 * 1024);
+        // Socket layer hands down two 32 KB packets.
+        reg.issue(id, 32 * 1024).unwrap();
+        reg.issue(id, 32 * 1024).unwrap();
+        assert!(!reg.get(id).unwrap().drained());
+        // First DMA completes: still outstanding.
+        assert!(reg.complete(id, 32 * 1024).is_none());
+        // Second completes: drained, counter removed, caller wakes task 1.
+        let st = reg.complete(id, 32 * 1024).expect("drained");
+        assert_eq!(st.task, TaskId(1));
+        assert_eq!(reg.live_count(), 0);
+    }
+
+    #[test]
+    fn partial_issue_keeps_blocking() {
+        let mut reg = UioCounters::new();
+        let id = reg.create(TaskId(2), SockId(1), 100);
+        reg.issue(id, 40).unwrap();
+        // DMA of the issued part completes, but 60 bytes never got buffer
+        // space yet: not drained.
+        assert!(reg.complete(id, 40).is_none());
+        reg.issue(id, 60).unwrap();
+        assert!(reg.complete(id, 60).is_some());
+    }
+
+    #[test]
+    fn cancel_removes() {
+        let mut reg = UioCounters::new();
+        let id = reg.create(TaskId(1), SockId(0), 10);
+        reg.cancel(id);
+        assert!(reg.get(id).is_none());
+        assert!(reg.complete(id, 10).is_none());
+    }
+}

@@ -1,0 +1,263 @@
+//! Shared stack types: identifiers, configuration, effects, errors.
+
+use bytes::Bytes;
+use outboard_cab::CabEvent;
+use outboard_host::Charge;
+use outboard_mbuf::TaskId;
+use outboard_sim::Dur;
+use std::net::Ipv4Addr;
+
+/// Socket descriptor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SockId(pub u32);
+
+/// Interface index within one kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IfaceId(pub u32);
+
+/// Transport protocol of a socket.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Proto {
+    /// Reliable byte stream.
+    Tcp,
+    /// Datagrams.
+    Udp,
+}
+
+/// An IPv4 endpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SockAddr {
+    /// Host address.
+    pub ip: Ipv4Addr,
+    /// Transport port.
+    pub port: u16,
+}
+
+impl SockAddr {
+    /// An endpoint from its parts.
+    pub fn new(ip: Ipv4Addr, port: u16) -> SockAddr {
+        SockAddr { ip, port }
+    }
+}
+
+impl std::fmt::Display for SockAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.ip, self.port)
+    }
+}
+
+/// Which data path the stack uses (the paper's two measured configurations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StackMode {
+    /// The original Net2 BSD behaviour: the socket layer copies user data
+    /// into kernel mbufs and TCP/UDP checksum in software; the CAB is used
+    /// as a dumb DMA device.
+    Unmodified,
+    /// The paper's single-copy path: `M_UIO` descriptors through the stack,
+    /// outboard buffering and checksumming.
+    SingleCopy,
+}
+
+/// Stack-level tunables.
+#[derive(Clone, Debug)]
+pub struct StackConfig {
+    /// Which data path this stack uses.
+    pub mode: StackMode,
+    /// Writes at least this large take the single-copy path; smaller writes
+    /// are copied through kernel mbufs (§4.4.3). Ignored when
+    /// `force_single_copy` is set (the paper's measurements force it).
+    pub uio_threshold: usize,
+    /// Always use the single-copy path regardless of size (§7.2: "the
+    /// measurements for the modified stack always use the single-copy
+    /// path").
+    pub force_single_copy: bool,
+    /// Keep user pages pinned across operations (§4.4.1 lazy unpinning).
+    pub lazy_vm: bool,
+    /// §4.5's unimplemented optimization, built here as an extension: a
+    /// misaligned large write first sends a short copied fragment to
+    /// realign, then DMAs the (now word-aligned) bulk directly — "we can
+    /// send a first packet of 16 bits ... the remainder of the data can be
+    /// DMAed since it is now word aligned".
+    pub align_split: bool,
+    /// Nagle coalescing for sub-MSS segments (traditional path only; a
+    /// single-copy write must be transmitted to unblock its writer).
+    pub nagle: bool,
+    /// Socket buffer high-water mark / TCP window, bytes (paper: 512 KB).
+    pub sock_buf: usize,
+    /// ACK every `delack_every`-th in-order segment immediately; otherwise
+    /// defer to the delayed-ACK timer.
+    pub delack_every: u32,
+    /// Delayed-ACK timeout (BSD fast timer: 200 ms).
+    pub delack_timeout: Dur,
+    /// Initial retransmission timeout.
+    pub rto_initial: Dur,
+    /// Minimum RTO.
+    pub rto_min: Dur,
+    /// TIME_WAIT hold (shortened from 2MSL for simulation practicality).
+    pub time_wait: Dur,
+}
+
+impl StackConfig {
+    /// The paper's modified stack (single-copy path available).
+    pub fn single_copy() -> StackConfig {
+        StackConfig {
+            mode: StackMode::SingleCopy,
+            uio_threshold: 16 * 1024,
+            force_single_copy: false,
+            lazy_vm: false,
+            align_split: false,
+            nagle: true,
+            sock_buf: 512 * 1024,
+            delack_every: 2,
+            delack_timeout: Dur::millis(200),
+            rto_initial: Dur::secs(1),
+            // BSD's minimum RTO sits well above the delayed-ACK timer, so
+            // an odd trailing segment never triggers a spurious timeout.
+            rto_min: Dur::millis(500),
+            time_wait: Dur::secs(1),
+        }
+    }
+
+    /// The baseline Net2 BSD behaviour.
+    pub fn unmodified() -> StackConfig {
+        StackConfig {
+            mode: StackMode::Unmodified,
+            ..StackConfig::single_copy()
+        }
+    }
+}
+
+/// TCP timer identities (socket plus a generation to ignore stale firings).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // field names (sock, generation) are the documentation
+pub enum TimerKind {
+    /// Retransmission timeout.
+    TcpRexmt { sock: SockId, generation: u64 },
+    /// Delayed-ACK (fast) timer.
+    TcpDelack { sock: SockId, generation: u64 },
+    /// TIME_WAIT expiry.
+    TcpTimeWait { sock: SockId, generation: u64 },
+}
+
+impl TimerKind {
+    /// The socket the timer belongs to.
+    pub fn sock(&self) -> SockId {
+        match self {
+            TimerKind::TcpRexmt { sock, .. }
+            | TimerKind::TcpDelack { sock, .. }
+            | TimerKind::TcpTimeWait { sock, .. } => *sock,
+        }
+    }
+}
+
+/// Side effects a kernel entry point hands back to the harness.
+#[derive(Clone, Debug)]
+#[allow(missing_docs)] // the variant docs describe the payload fields
+pub enum Effect {
+    /// Charge CPU time on this host.
+    Cpu { dur: Dur, charge: Charge },
+    /// A device event from this host's CAB (already timestamped by the
+    /// device model): SDMA completions loop back into
+    /// [`crate::Kernel::sdma_done`], `FrameOut`s go onto the fabric,
+    /// `RxReady`s loop back into [`crate::Kernel::rx_interrupt`].
+    Cab { iface: IfaceId, event: CabEvent },
+    /// A frame for a conventional serializing link (Ethernet).
+    EthTx { iface: IfaceId, frame: Bytes },
+    /// A frame looped back to this same kernel (loopback interface);
+    /// deliver via `frame_arrive` after a tiny scheduling delay.
+    Loop { iface: IfaceId, frame: Bytes },
+    /// Wake a process blocked in a syscall on this socket.
+    Wake { task: TaskId, sock: SockId },
+    /// Arm a timer `after` from now.
+    Timer { after: Dur, kind: TimerKind },
+    /// An in-kernel application's delivery queue has a ready entry (§5).
+    KernelReady { sock: SockId },
+}
+
+/// Outcome of `sys_write`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum WriteResult {
+    /// All bytes accepted; the call returns to the application immediately.
+    Done { bytes: usize },
+    /// The calling process must block; it will receive a `Wake` when the
+    /// write's data has been fully copied/DMAed (copy semantics, §4.4.2) or
+    /// when buffer space frees up for the remainder.
+    Blocked { accepted: usize },
+}
+
+/// Outcome of `sys_read`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum ReadResult {
+    /// `bytes` are in the user buffer (kernel-resident data was copied
+    /// synchronously).
+    Done { bytes: usize },
+    /// Data is being DMAed from outboard memory into the user buffer; the
+    /// process blocks until the end-of-DMA wake (§2.2), after which `bytes`
+    /// will be available.
+    BlockedDma { bytes: usize },
+    /// No data available; the process blocks until data arrives.
+    WouldBlock,
+    /// The peer closed and no more data will arrive.
+    Eof,
+}
+
+/// Stack errors surfaced to callers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StackError {
+    /// Unknown socket descriptor.
+    BadSocket,
+    /// Operation requires an established connection.
+    NotConnected,
+    /// Socket already has a peer.
+    AlreadyConnected,
+    /// Port already bound.
+    AddrInUse,
+    /// No route to the destination.
+    NoRoute,
+    /// Operation not valid in the socket's current state.
+    InvalidState(&'static str),
+    /// Peer reset the connection.
+    ConnectionReset,
+    /// Datagram exceeds the UDP/IP maximum.
+    MessageTooBig,
+}
+
+impl std::fmt::Display for StackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for StackError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_presets() {
+        let sc = StackConfig::single_copy();
+        assert_eq!(sc.mode, StackMode::SingleCopy);
+        assert_eq!(sc.sock_buf, 512 * 1024);
+        let un = StackConfig::unmodified();
+        assert_eq!(un.mode, StackMode::Unmodified);
+        assert_eq!(un.sock_buf, sc.sock_buf);
+    }
+
+    #[test]
+    fn timer_kind_sock_accessor() {
+        let k = TimerKind::TcpRexmt {
+            sock: SockId(3),
+            generation: 9,
+        };
+        assert_eq!(k.sock(), SockId(3));
+    }
+
+    #[test]
+    fn sockaddr_display() {
+        let a = SockAddr::new(Ipv4Addr::new(10, 0, 0, 1), 5001);
+        assert_eq!(a.to_string(), "10.0.0.1:5001");
+    }
+}

@@ -1,0 +1,373 @@
+//! VM operations on user pages: pin, unpin, map.
+//!
+//! §4.4.1 of the paper: DMA directly to/from user space requires pinning the
+//! pages and making them addressable from the kernel. In DEC OSF/1 these
+//! operations can only run in the application's context, so the *socket
+//! layer* performs them incrementally as data is handed to the transport
+//! layer. Their costs (Table 2) dominate the single-copy path's per-byte
+//! budget, replacing the copy and checksum of the traditional path.
+//!
+//! The paper also describes the key optimization: "for applications that
+//! reuse the same set of buffers repeatedly, this overhead can be avoided by
+//! keeping the buffers pinned and mapped ... buffers can be unpinned lazily,
+//! thus limiting the number of pages that an application can have pinned at
+//! one time." [`VmSystem`] implements both the eager and the lazy policy.
+
+use crate::config::MachineConfig;
+use crate::TaskId;
+use outboard_sim::Dur;
+use std::collections::{HashMap, VecDeque};
+
+/// Statistics over VM activity, for tests and the crossover experiments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VmStats {
+    /// Pin system calls issued.
+    pub pin_calls: u64,
+    /// Pages newly pinned.
+    pub pages_pinned: u64,
+    /// Unpin system calls issued.
+    pub unpin_calls: u64,
+    /// Pages actually unpinned.
+    pub pages_unpinned: u64,
+    /// Kernel-map calls issued.
+    pub map_calls: u64,
+    /// Pages newly mapped.
+    pub pages_mapped: u64,
+    /// Pages found already pinned (lazy-unpin reuse).
+    pub cache_hits: u64,
+    /// Cached pages evicted to honour the pinned limit.
+    pub evictions: u64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PageState {
+    /// Pinned and mapped, actively in use by an outstanding operation.
+    Active { refs: u32 },
+    /// Lazily released: still pinned+mapped, reusable at cache-hit cost.
+    Cached,
+}
+
+/// Per-host VM system tracking pinned user pages.
+#[derive(Debug)]
+pub struct VmSystem {
+    cfg: MachineConfig,
+    lazy: bool,
+    pages: HashMap<(TaskId, u64), PageState>,
+    /// LRU order of `Cached` pages (front = oldest).
+    cached_lru: VecDeque<(TaskId, u64)>,
+    stats: VmStats,
+}
+
+impl VmSystem {
+    /// A VM system; `lazy_unpin` enables the §4.4.1 optimization.
+    pub fn new(cfg: MachineConfig, lazy_unpin: bool) -> VmSystem {
+        VmSystem {
+            cfg,
+            lazy: lazy_unpin,
+            pages: HashMap::new(),
+            cached_lru: VecDeque::new(),
+            stats: VmStats::default(),
+        }
+    }
+
+    /// Snapshot of the activity counters.
+    pub fn stats(&self) -> VmStats {
+        self.stats
+    }
+
+    /// Whether lazy unpinning is enabled.
+    pub fn lazy(&self) -> bool {
+        self.lazy
+    }
+
+    /// Maximum pages an application may keep pinned (config passthrough).
+    pub fn page_limit(&self) -> usize {
+        self.cfg.pinned_page_limit
+    }
+
+    /// Table 2: cost of pinning `n` pages in one call.
+    pub fn pin_cost(&self, n: usize) -> Dur {
+        if n == 0 {
+            return Dur::ZERO;
+        }
+        Dur::from_micros_f64(self.cfg.pin_base_us + self.cfg.pin_per_page_us * n as f64)
+    }
+
+    /// Table 2: cost of unpinning `n` pages in one call.
+    pub fn unpin_cost(&self, n: usize) -> Dur {
+        if n == 0 {
+            return Dur::ZERO;
+        }
+        Dur::from_micros_f64(self.cfg.unpin_base_us + self.cfg.unpin_per_page_us * n as f64)
+    }
+
+    /// Table 2: cost of mapping `n` pages into kernel space in one call.
+    pub fn map_cost(&self, n: usize) -> Dur {
+        if n == 0 {
+            return Dur::ZERO;
+        }
+        Dur::from_micros_f64(self.cfg.map_base_us + self.cfg.map_per_page_us * n as f64)
+    }
+
+    fn vpns(&self, vaddr: u64, len: usize) -> std::ops::Range<u64> {
+        let ps = self.cfg.page_size as u64;
+        if len == 0 {
+            return 0..0;
+        }
+        (vaddr / ps)..((vaddr + len as u64 - 1) / ps + 1)
+    }
+
+    /// Number of pages currently pinned (active + cached).
+    pub fn pinned_page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Pin and map the pages backing `[vaddr, vaddr+len)` for a DMA
+    /// operation, returning the CPU cost. With lazy unpinning, pages still
+    /// cached from a previous operation cost only a lookup.
+    pub fn prepare(&mut self, task: TaskId, vaddr: u64, len: usize) -> Dur {
+        let mut new_pages = 0usize;
+        let mut hits = 0usize;
+        for vpn in self.vpns(vaddr, len) {
+            match self.pages.get_mut(&(task, vpn)) {
+                Some(PageState::Active { refs }) => {
+                    *refs += 1;
+                    hits += 1;
+                }
+                Some(state @ PageState::Cached) => {
+                    *state = PageState::Active { refs: 1 };
+                    self.cached_lru.retain(|k| k != &(task, vpn));
+                    hits += 1;
+                }
+                None => {
+                    self.pages.insert((task, vpn), PageState::Active { refs: 1 });
+                    new_pages += 1;
+                }
+            }
+        }
+        let mut cost = Dur::ZERO;
+        if new_pages > 0 {
+            self.stats.pin_calls += 1;
+            self.stats.map_calls += 1;
+            self.stats.pages_pinned += new_pages as u64;
+            self.stats.pages_mapped += new_pages as u64;
+            cost += self.pin_cost(new_pages) + self.map_cost(new_pages);
+        }
+        if hits > 0 {
+            self.stats.cache_hits += hits as u64;
+            cost += Dur::from_micros_f64(self.cfg.pin_cache_hit_us);
+        }
+        cost += self.enforce_limit_cost();
+        cost
+    }
+
+    /// Release the pages backing `[vaddr, vaddr+len)` after the DMA
+    /// completes. Eager mode unpins immediately (Table 2 cost); lazy mode
+    /// parks the pages in the cache for free and only pays when the pinned
+    /// limit forces eviction.
+    pub fn release(&mut self, task: TaskId, vaddr: u64, len: usize) -> Dur {
+        let mut released = 0usize;
+        for vpn in self.vpns(vaddr, len) {
+            if let Some(state) = self.pages.get_mut(&(task, vpn)) {
+                if let PageState::Active { refs } = state {
+                    *refs -= 1;
+                    if *refs == 0 {
+                        if self.lazy {
+                            *state = PageState::Cached;
+                            self.cached_lru.push_back((task, vpn));
+                        } else {
+                            self.pages.remove(&(task, vpn));
+                        }
+                        released += 1;
+                    }
+                }
+            }
+        }
+        let mut cost = Dur::ZERO;
+        if released > 0 && !self.lazy {
+            self.stats.unpin_calls += 1;
+            self.stats.pages_unpinned += released as u64;
+            cost += self.unpin_cost(released);
+        }
+        cost += self.enforce_limit_cost();
+        cost
+    }
+
+    /// Evict cached pages beyond the pinned-page limit (LRU order).
+    fn enforce_limit_cost(&mut self) -> Dur {
+        let mut evicted = 0usize;
+        while self.pages.len() > self.cfg.pinned_page_limit {
+            let Some(victim) = self.cached_lru.pop_front() else {
+                // Every page is actively referenced; nothing evictable.
+                break;
+            };
+            self.pages.remove(&victim);
+            evicted += 1;
+        }
+        if evicted > 0 {
+            self.stats.evictions += evicted as u64;
+            self.stats.unpin_calls += 1;
+            self.stats.pages_unpinned += evicted as u64;
+            self.unpin_cost(evicted)
+        } else {
+            Dur::ZERO
+        }
+    }
+
+    /// Forget all pinned pages for a task (process exit).
+    pub fn release_task(&mut self, task: TaskId) -> Dur {
+        let before = self.pages.len();
+        self.pages.retain(|(t, _), _| *t != task);
+        self.cached_lru.retain(|(t, _)| *t != task);
+        let n = before - self.pages.len();
+        if n > 0 {
+            self.stats.unpin_calls += 1;
+            self.stats.pages_unpinned += n as u64;
+            self.unpin_cost(n)
+        } else {
+            Dur::ZERO
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys(lazy: bool) -> VmSystem {
+        VmSystem::new(MachineConfig::alpha_3000_400(), lazy)
+    }
+
+    #[test]
+    fn table2_costs() {
+        let v = sys(false);
+        // Table 2 with n = 4 pages (one 32 KB aligned packet).
+        assert!((v.pin_cost(4).as_micros_f64() - (35.0 + 29.0 * 4.0)).abs() < 1e-6);
+        assert!((v.unpin_cost(4).as_micros_f64() - (48.0 + 3.9 * 4.0)).abs() < 1e-6);
+        assert!((v.map_cost(4).as_micros_f64() - (6.0 + 4.5 * 4.0)).abs() < 1e-6);
+        assert_eq!(v.pin_cost(0), Dur::ZERO);
+    }
+
+    #[test]
+    fn eager_pin_release_cycle() {
+        let mut v = sys(false);
+        let t = TaskId(1);
+        // 32 KB aligned at page 0: 4 pages.
+        let prep = v.prepare(t, 0, 32 * 1024);
+        let expect = v.pin_cost(4) + v.map_cost(4);
+        assert_eq!(prep, expect);
+        assert_eq!(v.pinned_page_count(), 4);
+        let rel = v.release(t, 0, 32 * 1024);
+        assert_eq!(rel, v.unpin_cost(4));
+        assert_eq!(v.pinned_page_count(), 0);
+        // Repeat: same full cost (no caching in eager mode).
+        assert_eq!(v.prepare(t, 0, 32 * 1024), expect);
+    }
+
+    #[test]
+    fn lazy_reuse_is_nearly_free() {
+        let mut v = sys(true);
+        let t = TaskId(1);
+        let first = v.prepare(t, 0, 32 * 1024);
+        assert_eq!(v.release(t, 0, 32 * 1024), Dur::ZERO, "lazy release free");
+        let second = v.prepare(t, 0, 32 * 1024);
+        assert!(second < first / 10, "cache hit {second:?} vs cold {first:?}");
+        assert_eq!(v.stats().cache_hits, 4);
+        assert_eq!(v.stats().pages_unpinned, 0);
+    }
+
+    #[test]
+    fn overlapping_ranges_refcount() {
+        let mut v = sys(false);
+        let t = TaskId(1);
+        v.prepare(t, 0, 16 * 1024); // pages 0,1
+        v.prepare(t, 8 * 1024, 16 * 1024); // pages 1,2: page1 refcounted
+        assert_eq!(v.pinned_page_count(), 3);
+        v.release(t, 0, 16 * 1024);
+        // Page 1 still held by the second range.
+        assert_eq!(v.pinned_page_count(), 2);
+        v.release(t, 8 * 1024, 16 * 1024);
+        assert_eq!(v.pinned_page_count(), 0);
+    }
+
+    #[test]
+    fn lazy_limit_evicts_lru() {
+        let mut cfg = MachineConfig::alpha_3000_400();
+        cfg.pinned_page_limit = 8;
+        let mut v = VmSystem::new(cfg, true);
+        let t = TaskId(1);
+        // Touch 16 distinct pages one at a time; cache cannot exceed 8.
+        for i in 0..16u64 {
+            v.prepare(t, i * 8192, 8192);
+            v.release(t, i * 8192, 8192);
+            assert!(v.pinned_page_count() <= 8);
+        }
+        assert_eq!(v.stats().evictions, 8);
+        // Oldest pages were evicted: re-preparing page 0 is a cold pin,
+        // which also forces one LRU eviction to stay within the limit.
+        let cold = v.prepare(t, 0, 8192);
+        assert_eq!(cold, v.pin_cost(1) + v.map_cost(1) + v.unpin_cost(1));
+        // Most recent page is still cached.
+        let hot = v.prepare(t, 15 * 8192, 8192);
+        assert!(hot < cold);
+    }
+
+    #[test]
+    fn active_pages_are_never_evicted() {
+        let mut cfg = MachineConfig::alpha_3000_400();
+        cfg.pinned_page_limit = 2;
+        let mut v = VmSystem::new(cfg, true);
+        let t = TaskId(1);
+        // Pin 4 pages actively (DMA outstanding on all of them).
+        v.prepare(t, 0, 32 * 1024);
+        assert_eq!(v.pinned_page_count(), 4, "limit cannot evict active pages");
+        v.release(t, 0, 32 * 1024);
+        assert!(v.pinned_page_count() <= 2, "released pages trimmed to limit");
+    }
+
+    #[test]
+    fn release_task_cleans_up() {
+        let mut v = sys(true);
+        let t = TaskId(1);
+        v.prepare(t, 0, 64 * 1024);
+        v.release(t, 0, 64 * 1024);
+        assert!(v.pinned_page_count() > 0);
+        v.release_task(t);
+        assert_eq!(v.pinned_page_count(), 0);
+    }
+
+    #[test]
+    fn empty_range_is_free() {
+        let mut v = sys(false);
+        assert_eq!(v.prepare(TaskId(1), 123, 0), Dur::ZERO);
+        assert_eq!(v.release(TaskId(1), 123, 0), Dur::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Matched prepare/release sequences always drain active pages, and
+        /// the pinned count never exceeds limit + active pages.
+        #[test]
+        fn refcounts_balance(ops in proptest::collection::vec((0u64..32, 1usize..65536), 1..40),
+                             lazy in any::<bool>()) {
+            let mut v = VmSystem::new(MachineConfig::alpha_3000_400(), lazy);
+            let t = TaskId(1);
+            for &(page, len) in &ops {
+                v.prepare(t, page * 8192, len);
+            }
+            for &(page, len) in &ops {
+                v.release(t, page * 8192, len);
+            }
+            if lazy {
+                prop_assert!(v.pinned_page_count() <= v.page_limit());
+            } else {
+                prop_assert_eq!(v.pinned_page_count(), 0);
+            }
+        }
+    }
+}

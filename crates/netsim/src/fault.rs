@@ -1,0 +1,261 @@
+//! Fault injection.
+//!
+//! Modeled on the knobs the smoltcp examples expose (`--drop-chance`,
+//! `--corrupt-chance`, ...): every frame presented to a faulty link draws a
+//! fate from a seeded RNG. Tests can also force deterministic faults
+//! (`force_drop_next`) to hit exact protocol states — e.g. "drop precisely
+//! the third data segment and watch TCP retransmit it from outboard memory
+//! without re-DMAing the body".
+
+use bytes::{Bytes, BytesMut};
+use outboard_sim::{Dur, Pcg32};
+use std::collections::VecDeque;
+
+/// What happened to each frame, cumulatively.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Frames presented to the injector.
+    pub offered: u64,
+    /// Frames silently dropped.
+    pub dropped: u64,
+    /// Frames with a bit flipped.
+    pub corrupted: u64,
+    /// Frames delayed behind later traffic.
+    pub reordered: u64,
+    /// Frames delivered twice.
+    pub duplicated: u64,
+}
+
+/// The fate drawn for one frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fate {
+    /// Deliver the (possibly corrupted) payload after an extra delay, and
+    /// optionally deliver it twice.
+    Deliver {
+        /// The (possibly corrupted) frame contents.
+        payload: Bytes,
+        /// Additional delay beyond the link's latency.
+        extra_delay: Dur,
+        /// Deliver a second copy shortly after the first.
+        duplicate: bool,
+    },
+    /// Silently dropped.
+    Drop,
+}
+
+/// Configurable fault injector with a deterministic stream.
+#[derive(Debug)]
+pub struct FaultInjector {
+    /// Probability a frame is dropped.
+    pub drop_p: f64,
+    /// Probability one bit of a frame is flipped.
+    pub corrupt_p: f64,
+    /// Probability a frame is delayed (arrives late).
+    pub reorder_p: f64,
+    /// Extra delay applied to "reordered" frames (they arrive late, after
+    /// frames sent behind them).
+    pub reorder_delay: Dur,
+    /// Probability a frame is delivered twice.
+    pub dup_p: f64,
+    rng: Pcg32,
+    forced: VecDeque<Fate>,
+    /// Cumulative fate counts.
+    pub stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// A transparent injector (no faults).
+    pub fn none(seed: u64) -> FaultInjector {
+        FaultInjector {
+            drop_p: 0.0,
+            corrupt_p: 0.0,
+            reorder_p: 0.0,
+            reorder_delay: Dur::millis(1),
+            dup_p: 0.0,
+            rng: Pcg32::new(seed),
+            forced: VecDeque::new(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// An injector with the given drop/corrupt probabilities.
+    pub fn lossy(seed: u64, drop_p: f64, corrupt_p: f64) -> FaultInjector {
+        let mut f = FaultInjector::none(seed);
+        f.drop_p = drop_p;
+        f.corrupt_p = corrupt_p;
+        f
+    }
+
+    /// Force the next frame(s) to be dropped regardless of probabilities.
+    pub fn force_drop_next(&mut self, count: usize) {
+        for _ in 0..count {
+            self.forced.push_back(Fate::Drop);
+        }
+    }
+
+    /// Force the next frame to be corrupted (one bit flipped).
+    pub fn force_corrupt_next(&mut self) {
+        // Encoded as a Deliver with an empty payload sentinel; resolved in
+        // `fate` where the real payload is available.
+        self.forced.push_back(Fate::Deliver {
+            payload: Bytes::new(),
+            extra_delay: Dur::ZERO,
+            duplicate: false,
+        });
+    }
+
+    fn corrupt(&mut self, payload: &Bytes) -> Bytes {
+        let mut buf = BytesMut::from(payload.as_ref());
+        if !buf.is_empty() {
+            let bit = self.rng.below((buf.len() * 8) as u32) as usize;
+            buf[bit / 8] ^= 1 << (bit % 8);
+        }
+        self.stats.corrupted += 1;
+        buf.freeze()
+    }
+
+    /// Draw the fate of one frame.
+    pub fn fate(&mut self, payload: Bytes) -> Fate {
+        self.stats.offered += 1;
+        if let Some(forced) = self.forced.pop_front() {
+            return match forced {
+                Fate::Drop => {
+                    self.stats.dropped += 1;
+                    Fate::Drop
+                }
+                Fate::Deliver { .. } => Fate::Deliver {
+                    payload: self.corrupt(&payload),
+                    extra_delay: Dur::ZERO,
+                    duplicate: false,
+                },
+            };
+        }
+        if self.drop_p > 0.0 && self.rng.chance(self.drop_p) {
+            self.stats.dropped += 1;
+            return Fate::Drop;
+        }
+        let payload = if self.corrupt_p > 0.0 && self.rng.chance(self.corrupt_p) {
+            self.corrupt(&payload)
+        } else {
+            payload
+        };
+        let extra_delay = if self.reorder_p > 0.0 && self.rng.chance(self.reorder_p) {
+            self.stats.reordered += 1;
+            self.reorder_delay
+        } else {
+            Dur::ZERO
+        };
+        let duplicate = self.dup_p > 0.0 && self.rng.chance(self.dup_p);
+        if duplicate {
+            self.stats.duplicated += 1;
+        }
+        Fate::Deliver {
+            payload,
+            extra_delay,
+            duplicate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transparent_injector_delivers_verbatim() {
+        let mut f = FaultInjector::none(1);
+        let data = Bytes::from_static(b"hello");
+        match f.fate(data.clone()) {
+            Fate::Deliver {
+                payload,
+                extra_delay,
+                duplicate,
+            } => {
+                assert_eq!(payload, data);
+                assert_eq!(extra_delay, Dur::ZERO);
+                assert!(!duplicate);
+            }
+            Fate::Drop => panic!("dropped without faults"),
+        }
+        assert_eq!(f.stats.offered, 1);
+        assert_eq!(f.stats.dropped, 0);
+    }
+
+    #[test]
+    fn drop_probability_is_roughly_honored() {
+        let mut f = FaultInjector::lossy(2, 0.3, 0.0);
+        for _ in 0..10_000 {
+            f.fate(Bytes::from_static(b"x"));
+        }
+        let rate = f.stats.dropped as f64 / f.stats.offered as f64;
+        assert!((0.27..0.33).contains(&rate), "drop rate {rate}");
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let mut f = FaultInjector::lossy(3, 0.0, 1.0);
+        let data = Bytes::from(vec![0u8; 64]);
+        match f.fate(data.clone()) {
+            Fate::Deliver { payload, .. } => {
+                let flipped: u32 = payload
+                    .iter()
+                    .zip(data.iter())
+                    .map(|(a, b)| (a ^ b).count_ones())
+                    .sum();
+                assert_eq!(flipped, 1);
+            }
+            Fate::Drop => panic!(),
+        }
+    }
+
+    #[test]
+    fn forced_faults_win() {
+        let mut f = FaultInjector::none(4);
+        f.force_drop_next(2);
+        f.force_corrupt_next();
+        assert_eq!(f.fate(Bytes::from_static(b"a")), Fate::Drop);
+        assert_eq!(f.fate(Bytes::from_static(b"b")), Fate::Drop);
+        match f.fate(Bytes::from_static(b"cc")) {
+            Fate::Deliver { payload, .. } => assert_ne!(payload, Bytes::from_static(b"cc")),
+            Fate::Drop => panic!(),
+        }
+        // Back to transparent.
+        match f.fate(Bytes::from_static(b"dd")) {
+            Fate::Deliver { payload, .. } => assert_eq!(payload, Bytes::from_static(b"dd")),
+            Fate::Drop => panic!(),
+        }
+    }
+
+    #[test]
+    fn reorder_and_duplicate() {
+        let mut f = FaultInjector::none(5);
+        f.reorder_p = 1.0;
+        f.reorder_delay = Dur::micros(500);
+        f.dup_p = 1.0;
+        match f.fate(Bytes::from_static(b"z")) {
+            Fate::Deliver {
+                extra_delay,
+                duplicate,
+                ..
+            } => {
+                assert_eq!(extra_delay, Dur::micros(500));
+                assert!(duplicate);
+            }
+            Fate::Drop => panic!(),
+        }
+        assert_eq!(f.stats.reordered, 1);
+        assert_eq!(f.stats.duplicated, 1);
+    }
+
+    #[test]
+    fn deterministic_stream() {
+        let run = |seed| {
+            let mut f = FaultInjector::lossy(seed, 0.5, 0.0);
+            (0..64)
+                .map(|_| matches!(f.fate(Bytes::from_static(b"p")), Fate::Drop))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(10), run(10));
+        assert_ne!(run(10), run(11));
+    }
+}

@@ -1,0 +1,154 @@
+//! Point-to-point links.
+//!
+//! A [`Link`] optionally serializes frames at a configured bandwidth (the
+//! Ethernet case — the device driver dumps a frame and the wire paces it)
+//! or passes them through with latency only (the HIPPI case — the CAB's
+//! MDMA engine is the pacer, so re-serializing here would double-count).
+
+use crate::fault::{FaultInjector, Fate};
+use bytes::Bytes;
+use outboard_sim::{Dur, Time};
+
+/// A scheduled arrival at the far end of a link.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// Arrival time at the far end.
+    pub at: Time,
+    /// The delivered frame.
+    pub payload: Bytes,
+}
+
+/// One direction of a point-to-point link.
+#[derive(Debug)]
+pub struct Link {
+    /// Serialization bandwidth in bit/s; `None` for pre-paced media.
+    pub bandwidth_bps: Option<f64>,
+    /// Propagation latency.
+    pub latency: Dur,
+    busy_until: Time,
+    /// Fault injection applied to every frame.
+    pub faults: FaultInjector,
+    /// Frames offered to this link.
+    pub frames_in: u64,
+    /// Frames that reached the far end (incl. duplicates).
+    pub frames_delivered: u64,
+    /// Payload bytes delivered.
+    pub bytes_delivered: u64,
+}
+
+impl Link {
+    /// A HIPPI-style link: pure latency, sender paces.
+    pub fn hippi(latency: Dur, seed: u64) -> Link {
+        Link {
+            bandwidth_bps: None,
+            latency,
+            busy_until: Time::ZERO,
+            faults: FaultInjector::none(seed),
+            frames_in: 0,
+            frames_delivered: 0,
+            bytes_delivered: 0,
+        }
+    }
+
+    /// A serializing link (e.g. 10 Mbit/s Ethernet).
+    pub fn serializing(bandwidth_bps: f64, latency: Dur, seed: u64) -> Link {
+        Link {
+            bandwidth_bps: Some(bandwidth_bps),
+            latency,
+            busy_until: Time::ZERO,
+            faults: FaultInjector::none(seed),
+            frames_in: 0,
+            frames_delivered: 0,
+            bytes_delivered: 0,
+        }
+    }
+
+    /// Offer a frame at `now`; returns zero, one, or (duplication) two
+    /// deliveries for the far end.
+    pub fn transmit(&mut self, payload: Bytes, now: Time) -> Vec<Delivery> {
+        self.frames_in += 1;
+        let fate = self.faults.fate(payload);
+        let Fate::Deliver {
+            payload,
+            extra_delay,
+            duplicate,
+        } = fate
+        else {
+            return Vec::new();
+        };
+        let serialized_at = match self.bandwidth_bps {
+            Some(bps) => {
+                let start = now.max(self.busy_until);
+                let done = start + Dur::for_bytes_at_bps(payload.len() as u64, bps);
+                self.busy_until = done;
+                done
+            }
+            None => now,
+        };
+        let at = serialized_at + self.latency + extra_delay;
+        self.frames_delivered += 1;
+        self.bytes_delivered += payload.len() as u64;
+        let mut out = vec![Delivery {
+            at,
+            payload: payload.clone(),
+        }];
+        if duplicate {
+            self.frames_delivered += 1;
+            out.push(Delivery {
+                at: at + Dur::micros(1),
+                payload,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_only_link() {
+        let mut l = Link::hippi(Dur::micros(10), 1);
+        let d = l.transmit(Bytes::from_static(b"abc"), Time(1_000));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].at, Time(1_000) + Dur::micros(10));
+    }
+
+    #[test]
+    fn serializing_link_paces_back_to_back_frames() {
+        // 10 Mbit/s: 1250 bytes = 1 ms on the wire.
+        let mut l = Link::serializing(10e6, Dur::ZERO, 1);
+        let d1 = l.transmit(Bytes::from(vec![0u8; 1250]), Time::ZERO);
+        let d2 = l.transmit(Bytes::from(vec![0u8; 1250]), Time::ZERO);
+        assert_eq!(d1[0].at, Time::ZERO + Dur::millis(1));
+        assert_eq!(d2[0].at, Time::ZERO + Dur::millis(2));
+    }
+
+    #[test]
+    fn dropped_frames_produce_no_delivery() {
+        let mut l = Link::hippi(Dur::ZERO, 1);
+        l.faults.force_drop_next(1);
+        assert!(l.transmit(Bytes::from_static(b"x"), Time::ZERO).is_empty());
+        assert_eq!(l.frames_in, 1);
+        assert_eq!(l.frames_delivered, 0);
+    }
+
+    #[test]
+    fn duplicate_delivers_twice() {
+        let mut l = Link::hippi(Dur::ZERO, 2);
+        l.faults.dup_p = 1.0;
+        let d = l.transmit(Bytes::from_static(b"x"), Time::ZERO);
+        assert_eq!(d.len(), 2);
+        assert!(d[1].at > d[0].at);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut l = Link::serializing(10e6, Dur::ZERO, 3);
+        l.transmit(Bytes::from(vec![0u8; 100]), Time::ZERO);
+        l.transmit(Bytes::from(vec![0u8; 200]), Time::ZERO);
+        assert_eq!(l.frames_delivered, 2);
+        assert_eq!(l.bytes_delivered, 300);
+    }
+}

@@ -1,0 +1,28 @@
+//! Deterministic discrete-event simulation core for the `outboard` workspace.
+//!
+//! Everything in the reproduction — the CAB adaptor engines, the host CPU,
+//! the network links — advances on a single virtual clock driven by a stable
+//! event queue. Determinism is a design requirement (the paper's experiments
+//! must be exactly reproducible), so this crate provides:
+//!
+//! * [`Time`] / [`Dur`] — nanosecond-resolution virtual time,
+//! * [`EventQueue`] — a priority queue with FIFO tie-breaking so same-time
+//!   events run in insertion order on every platform,
+//! * [`Pcg32`] — a small, seedable PRNG with a stable stream (we deliberately
+//!   do not depend on an external RNG crate whose stream could change across
+//!   versions),
+//! * [`stats`] — counters, running means, histograms, and the least-squares
+//!   fit used to regenerate Table 2,
+//! * [`trace`] — a bounded in-memory event trace for debugging experiments.
+
+#![warn(missing_docs)]
+
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use queue::EventQueue;
+pub use rng::Pcg32;
+pub use time::{Dur, Time};

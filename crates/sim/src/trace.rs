@@ -1,0 +1,187 @@
+//! Bounded in-memory event trace.
+//!
+//! Components across the workspace record interesting moments (DMA start,
+//! packet on wire, retransmit, fallback path taken) into a shared trace so
+//! tests can assert on *mechanism* — e.g. "the retransmitted packet was never
+//! copied back into host memory" — instead of only on end-to-end outcomes.
+
+use crate::time::Time;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One trace record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time the event occurred.
+    pub at: Time,
+    /// Component that emitted the event, e.g. `"cab0.sdma"`, `"tcp"`.
+    pub source: &'static str,
+    /// Event kind, e.g. `"sdma_start"`, `"retransmit"`.
+    pub kind: &'static str,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} {}: {}",
+            self.at, self.source, self.kind, self.detail
+        )
+    }
+}
+
+/// A bounded ring of trace events. When full, the oldest events are dropped.
+#[derive(Debug)]
+pub struct Trace {
+    ring: VecDeque<TraceEvent>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new(65_536)
+    }
+}
+
+impl Trace {
+    /// A trace ring holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Trace {
+            ring: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            enabled: true,
+            dropped: 0,
+        }
+    }
+
+    /// A trace that discards everything (for long benchmark runs).
+    pub fn disabled() -> Self {
+        let mut t = Trace::new(1);
+        t.enabled = false;
+        t
+    }
+
+    /// Enable or disable recording.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record one event (dropped silently when disabled; evicts the oldest when full).
+    pub fn record(&mut self, at: Time, source: &'static str, kind: &'static str, detail: String) {
+        if !self.enabled {
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(TraceEvent {
+            at,
+            source,
+            kind,
+            detail,
+        });
+    }
+
+    /// Number of events evicted due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Iterate events oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.ring.iter()
+    }
+
+    /// All events of a given kind, oldest first.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.ring.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Count events of a given kind.
+    pub fn count_kind(&self, kind: &str) -> usize {
+        self.ring.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Discard all events and reset the drop counter.
+    pub fn clear(&mut self) {
+        self.ring.clear();
+        self.dropped = 0;
+    }
+
+    /// Render the whole trace (debugging aid).
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for e in &self.ring {
+            out.push_str(&format!("{e}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_filters() {
+        let mut t = Trace::new(10);
+        t.record(Time(1), "tcp", "retransmit", "seq 100".into());
+        t.record(Time(2), "cab0.sdma", "sdma_start", "pkt 1".into());
+        t.record(Time(3), "tcp", "retransmit", "seq 200".into());
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.count_kind("retransmit"), 2);
+        let kinds: Vec<_> = t.of_kind("retransmit").map(|e| e.detail.clone()).collect();
+        assert_eq!(kinds, vec!["seq 100", "seq 200"]);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = Trace::new(3);
+        for i in 0..5u64 {
+            t.record(Time(i), "x", "k", format!("{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let details: Vec<_> = t.iter().map(|e| e.detail.as_str()).collect();
+        assert_eq!(details, vec!["2", "3", "4"]);
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(Time(1), "x", "k", "ignored".into());
+        assert!(t.is_empty());
+        t.set_enabled(true);
+        t.record(Time(2), "x", "k", "kept".into());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn dump_renders_lines() {
+        let mut t = Trace::new(4);
+        t.record(Time(1_000), "tcp", "k", "hello".into());
+        let s = t.dump();
+        assert!(s.contains("tcp k: hello"));
+    }
+}

@@ -1,0 +1,134 @@
+//! §7.3's analytic model: estimate each stack's efficiency from the
+//! per-byte, per-page, and per-packet overheads, for comparison against the
+//! simulated measurements (the `analysis` bench binary prints both).
+
+use outboard_host::MachineConfig;
+
+/// One analytic estimate.
+#[derive(Clone, Copy, Debug)]
+pub struct AnalysisPoint {
+    /// Total CPU time per packet, µs.
+    pub per_packet_us: f64,
+    /// The portion that scales with bytes/pages, µs.
+    pub per_byte_us: f64,
+    /// Estimated efficiency (Mbit/s of communication at 100 % CPU).
+    pub efficiency_mbps: f64,
+    /// Share of the budget spent on per-byte work (the paper: 80 % for the
+    /// unmodified stack, 43 % for the single-copy stack at 32 KB).
+    pub per_byte_share: f64,
+}
+
+/// The fixed per-packet protocol overhead the paper measured (~300 µs),
+/// reconstructed from the machine's cost table the same way the kernel
+/// charges it (with ~0.5 delayed ACKs per segment).
+pub fn per_packet_overhead_us(m: &MachineConfig) -> f64 {
+    m.cost_syscall_us
+        + m.cost_socket_pkt_us
+        + m.cost_tcp_output_us
+        + m.cost_ip_us
+        + m.cost_driver_pkt_us
+        + m.cost_interrupt_us
+        + 0.5 * (m.cost_interrupt_us + m.cost_ip_us + m.cost_tcp_input_us)
+        + m.cost_wakeup_us
+}
+
+/// Unmodified stack: copy (no locality) + checksum read + per-packet.
+pub fn unmodified_estimate(m: &MachineConfig, packet_bytes: usize) -> AnalysisPoint {
+    let bits = packet_bytes as f64 * 8.0;
+    let copy_us = bits / m.copy_bw_min_mbps;
+    let read_us = bits / m.read_bw_min_mbps;
+    let fixed = per_packet_overhead_us(m);
+    let per_byte = copy_us + read_us;
+    let total = per_byte + fixed;
+    AnalysisPoint {
+        per_packet_us: total,
+        per_byte_us: per_byte,
+        efficiency_mbps: bits / total,
+        per_byte_share: per_byte / total,
+    }
+}
+
+/// Single-copy stack: pin + unpin + map of the packet's pages + per-packet.
+pub fn single_copy_estimate(m: &MachineConfig, packet_bytes: usize) -> AnalysisPoint {
+    let bits = packet_bytes as f64 * 8.0;
+    let pages = packet_bytes.div_ceil(m.page_size) as f64;
+    let vm_us = (m.pin_base_us + m.pin_per_page_us * pages)
+        + (m.unpin_base_us + m.unpin_per_page_us * pages)
+        + (m.map_base_us + m.map_per_page_us * pages);
+    let fixed = per_packet_overhead_us(m);
+    let total = vm_us + fixed;
+    AnalysisPoint {
+        per_packet_us: total,
+        per_byte_us: vm_us,
+        efficiency_mbps: bits / total,
+        per_byte_share: vm_us / total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_732_numbers() {
+        let m = MachineConfig::alpha_3000_400();
+        // Paper: unmodified ≈ 180 Mbit/s ("somewhat high, but still
+        // reasonably close to the measured efficiency").
+        let un = unmodified_estimate(&m, 32 * 1024);
+        assert!(
+            (170.0..195.0).contains(&un.efficiency_mbps),
+            "unmodified {}",
+            un.efficiency_mbps
+        );
+        // Paper: single-copy ≈ 490 Mbit/s for 32 KB packets.
+        let sc = single_copy_estimate(&m, 32 * 1024);
+        assert!(
+            (460.0..510.0).contains(&sc.efficiency_mbps),
+            "single-copy {}",
+            sc.efficiency_mbps
+        );
+        // Paper: per-byte share 80 % → 43 %.
+        assert!((0.75..0.85).contains(&un.per_byte_share), "{}", un.per_byte_share);
+        assert!((0.38..0.48).contains(&sc.per_byte_share), "{}", sc.per_byte_share);
+        // "Almost three times more efficient."
+        let ratio = sc.efficiency_mbps / un.efficiency_mbps;
+        assert!((2.4..3.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn per_packet_overhead_near_300us() {
+        let m = MachineConfig::alpha_3000_400();
+        let p = per_packet_overhead_us(&m);
+        assert!((290.0..310.0).contains(&p), "{p}");
+    }
+
+    #[test]
+    fn analytic_crossover_below_the_measured_one() {
+        // On a per-*packet* basis the single-copy path wins from ~4 KB up.
+        // The measured crossover (Figure 5c) sits higher, at 8-16 KB,
+        // because the unmodified stack *coalesces* small writes into
+        // MSS-sized segments (amortizing its per-packet overhead over many
+        // writes) while the single-copy stack sends one packet per write —
+        // an effect only the full simulation captures.
+        let m = MachineConfig::alpha_3000_400();
+        let at2 = (
+            unmodified_estimate(&m, 2 * 1024).efficiency_mbps,
+            single_copy_estimate(&m, 2 * 1024).efficiency_mbps,
+        );
+        let at8 = (
+            unmodified_estimate(&m, 8 * 1024).efficiency_mbps,
+            single_copy_estimate(&m, 8 * 1024).efficiency_mbps,
+        );
+        assert!(at2.1 < at2.0, "2 KB packets: traditional path cheaper");
+        assert!(at8.1 > at8.0, "8 KB packets: single-copy cheaper");
+    }
+
+    #[test]
+    fn lx_is_proportionally_slower() {
+        let m4 = MachineConfig::alpha_3000_400();
+        let mlx = MachineConfig::alpha_3000_300lx();
+        let r = unmodified_estimate(&mlx, 32 * 1024).efficiency_mbps
+            / unmodified_estimate(&m4, 32 * 1024).efficiency_mbps;
+        assert!((0.45..0.55).contains(&r), "half-speed machine: {r}");
+    }
+}

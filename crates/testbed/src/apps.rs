@@ -1,0 +1,582 @@
+//! Applications: ttcp sender/receiver (user processes with copy-semantics
+//! sockets) and an in-kernel file server with share semantics (§5).
+
+use crate::world::{App, Step, SysCtx};
+use bytes::Bytes;
+use outboard_host::TaskId;
+use outboard_mbuf::Chain;
+use outboard_stack::{Proto, ReadResult, SockAddr, SockId, StackError, WriteResult};
+
+/// Per-write user-mode loop overhead of ttcp (µs) — the tiny amount of
+/// user time the paper's ttcp consumes per iteration.
+const TTCP_LOOP_US: f64 = 3.0;
+
+/// Sender states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TxState {
+    Start,
+    Connecting,
+    Writing,
+    Closing,
+    Done,
+}
+
+/// A ttcp transmitter: connect, then `write(write_size)` until
+/// `total_bytes` have been accepted, then close.
+pub struct TtcpSender {
+    task: TaskId,
+    dst: SockAddr,
+    /// Bytes per write(2) call (the figures' x-axis).
+    pub write_size: usize,
+    /// Total bytes to transmit.
+    pub total_bytes: usize,
+    /// Base virtual address of the (reused) user buffer.
+    pub buf_vaddr: u64,
+    sock: Option<SockId>,
+    state: TxState,
+    /// Bytes accepted by the socket so far.
+    pub bytes_written: usize,
+    /// write(2) calls completed.
+    pub writes: u64,
+    /// Deterministic payload function so the receiver can verify integrity.
+    pub pattern: fn(usize) -> u8,
+}
+
+/// The byte every ttcp transfer places at stream offset `i`.
+pub fn ttcp_pattern(i: usize) -> u8 {
+    (i as u32).wrapping_mul(2654435761).to_le_bytes()[0]
+}
+
+impl TtcpSender {
+    /// A sender that connects to `dst` and streams `total_bytes`.
+    pub fn new(task: TaskId, dst: SockAddr, write_size: usize, total_bytes: usize) -> TtcpSender {
+        TtcpSender {
+            task,
+            dst,
+            write_size,
+            total_bytes,
+            buf_vaddr: 0x10_0000,
+            sock: None,
+            state: TxState::Start,
+            bytes_written: 0,
+            writes: 0,
+            pattern: ttcp_pattern,
+        }
+    }
+
+    /// The connected socket, once created.
+    pub fn sock(&self) -> Option<SockId> {
+        self.sock
+    }
+
+    fn fill_buffer(&self, ctx: &mut SysCtx<'_>) {
+        // The user buffer holds the stream bytes for the *next* write; ttcp
+        // reuses one buffer, so refill per write with the right offsets.
+        let mut data = vec![0u8; self.write_size];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (self.pattern)(self.bytes_written + i);
+        }
+        use outboard_host::UserMemory;
+        ctx.mem
+            .write_user(self.task, self.buf_vaddr, &data)
+            .expect("sender buffer");
+    }
+}
+
+impl App for TtcpSender {
+    fn task(&self) -> TaskId {
+        self.task
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn finished(&self) -> bool {
+        self.state == TxState::Done
+    }
+
+    fn step(&mut self, ctx: &mut SysCtx<'_>) -> Step {
+        match self.state {
+            TxState::Start => {
+                ctx.mem
+                    .create_region(self.task, self.buf_vaddr, self.write_size.max(4096));
+                let sock = ctx.kernel.sys_socket(Proto::Tcp);
+                self.sock = Some(sock);
+                let fx = ctx
+                    .kernel
+                    .sys_connect(sock, self.task, self.dst, ctx.mem, ctx.now)
+                    .expect("connect");
+                ctx.absorb(fx);
+                self.state = TxState::Connecting;
+                Step::Wait
+            }
+            TxState::Connecting => {
+                // Woken on ESTABLISHED.
+                self.state = TxState::Writing;
+                self.step_write(ctx)
+            }
+            TxState::Writing => self.step_write(ctx),
+            TxState::Closing => {
+                // Woken when the write drained; issue the close.
+                let fx = ctx.kernel.sys_close(self.sock.unwrap(), ctx.mem, ctx.now);
+                ctx.absorb(fx);
+                self.state = TxState::Done;
+                Step::Done
+            }
+            TxState::Done => Step::Done,
+        }
+    }
+}
+
+impl TtcpSender {
+    fn step_write(&mut self, ctx: &mut SysCtx<'_>) -> Step {
+        if self.bytes_written >= self.total_bytes {
+            self.state = TxState::Closing;
+            // Close immediately in this quantum.
+            let fx = ctx.kernel.sys_close(self.sock.unwrap(), ctx.mem, ctx.now);
+            ctx.absorb(fx);
+            self.state = TxState::Done;
+            return Step::Done;
+        }
+        ctx.user_cpu(TTCP_LOOP_US);
+        let len = self.write_size.min(self.total_bytes - self.bytes_written);
+        self.fill_buffer(ctx);
+        let r = ctx.kernel.sys_write(
+            self.sock.unwrap(),
+            self.task,
+            self.buf_vaddr,
+            len,
+            ctx.mem,
+            ctx.now,
+        );
+        match r {
+            Ok((WriteResult::Done { bytes }, fx)) => {
+                ctx.absorb(fx);
+                self.bytes_written += bytes;
+                self.writes += 1;
+                Step::Continue
+            }
+            Ok((WriteResult::Blocked { .. }, fx)) => {
+                ctx.absorb(fx);
+                // Copy semantics: when woken, the whole write is accepted.
+                self.bytes_written += len;
+                self.writes += 1;
+                Step::Wait
+            }
+            Err(StackError::InvalidState(_)) => {
+                // Spurious wake while a write is still pending.
+                Step::Wait
+            }
+            Err(e) => panic!("ttcp write failed: {e}"),
+        }
+    }
+}
+
+/// Receiver states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RxState {
+    Start,
+    Accepting,
+    Reading,
+    Done,
+}
+
+/// A ttcp receiver: listen/accept, read to EOF, verify the pattern.
+pub struct TtcpReceiver {
+    task: TaskId,
+    port: u16,
+    /// Bytes requested per read(2) call.
+    pub read_size: usize,
+    listener: Option<SockId>,
+    conn: Option<SockId>,
+    state: RxState,
+    /// Base virtual address of the receive buffer.
+    pub buf_vaddr: u64,
+    /// Bytes received so far.
+    pub bytes_read: usize,
+    /// read(2) calls that returned data.
+    pub reads: u64,
+    /// A read whose DMA completion we are waiting on.
+    pending_dma: Option<usize>,
+    /// Check every received byte against the pattern.
+    pub verify: bool,
+    /// Bytes that did not match the pattern.
+    pub verify_errors: u64,
+    /// Expected byte at each stream offset.
+    pub pattern: fn(usize) -> u8,
+}
+
+impl TtcpReceiver {
+    /// A receiver listening on `port`.
+    pub fn new(task: TaskId, port: u16, read_size: usize) -> TtcpReceiver {
+        TtcpReceiver {
+            task,
+            port,
+            read_size,
+            listener: None,
+            conn: None,
+            state: RxState::Start,
+            buf_vaddr: 0x20_0000,
+            bytes_read: 0,
+            reads: 0,
+            pending_dma: None,
+            verify: true,
+            verify_errors: 0,
+            pattern: ttcp_pattern,
+        }
+    }
+
+    /// The accepted connection, once established.
+    pub fn conn(&self) -> Option<SockId> {
+        self.conn
+    }
+
+    fn verify_buf(&mut self, ctx: &mut SysCtx<'_>, base_off: usize, len: usize) {
+        if !self.verify {
+            return;
+        }
+        use outboard_host::UserMemory;
+        let mut data = vec![0u8; len];
+        ctx.mem
+            .read_user(self.task, self.buf_vaddr, &mut data)
+            .expect("receiver buffer");
+        for (i, &b) in data.iter().enumerate() {
+            if b != (self.pattern)(base_off + i) {
+                self.verify_errors += 1;
+            }
+        }
+    }
+}
+
+impl App for TtcpReceiver {
+    fn task(&self) -> TaskId {
+        self.task
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn finished(&self) -> bool {
+        self.state == RxState::Done
+    }
+
+    fn step(&mut self, ctx: &mut SysCtx<'_>) -> Step {
+        match self.state {
+            RxState::Start => {
+                ctx.mem
+                    .create_region(self.task, self.buf_vaddr, self.read_size.max(4096));
+                let l = ctx.kernel.sys_socket(Proto::Tcp);
+                ctx.kernel.sys_bind(l, self.port).expect("bind");
+                ctx.kernel.sys_listen(l).expect("listen");
+                self.listener = Some(l);
+                self.state = RxState::Accepting;
+                match ctx.kernel.sys_accept(l, self.task).expect("accept") {
+                    Some(c) => {
+                        self.conn = Some(c);
+                        self.state = RxState::Reading;
+                        self.step(ctx)
+                    }
+                    None => Step::Wait,
+                }
+            }
+            RxState::Accepting => match ctx
+                .kernel
+                .sys_accept(self.listener.unwrap(), self.task)
+                .expect("accept")
+            {
+                Some(c) => {
+                    self.conn = Some(c);
+                    self.state = RxState::Reading;
+                    self.step(ctx)
+                }
+                None => Step::Wait,
+            },
+            RxState::Reading => {
+                // A DMA-blocked read completes on this wake.
+                if let Some(bytes) = self.pending_dma.take() {
+                    self.verify_buf(ctx, self.bytes_read, bytes);
+                    self.bytes_read += bytes;
+                    self.reads += 1;
+                }
+                ctx.user_cpu(TTCP_LOOP_US);
+                let r = ctx.kernel.sys_read(
+                    self.conn.unwrap(),
+                    self.task,
+                    self.buf_vaddr,
+                    self.read_size,
+                    ctx.mem,
+                    ctx.now,
+                );
+                match r {
+                    Ok((ReadResult::Done { bytes }, fx)) => {
+                        ctx.absorb(fx);
+                        self.verify_buf(ctx, self.bytes_read, bytes);
+                        self.bytes_read += bytes;
+                        self.reads += 1;
+                        Step::Continue
+                    }
+                    Ok((ReadResult::BlockedDma { bytes }, fx)) => {
+                        ctx.absorb(fx);
+                        self.pending_dma = Some(bytes);
+                        Step::Wait
+                    }
+                    Ok((ReadResult::WouldBlock, fx)) => {
+                        ctx.absorb(fx);
+                        Step::Wait
+                    }
+                    Ok((ReadResult::Eof, fx)) => {
+                        ctx.absorb(fx);
+                        let fx = ctx.kernel.sys_close(self.conn.unwrap(), ctx.mem, ctx.now);
+                        ctx.absorb(fx);
+                        self.state = RxState::Done;
+                        Step::Done
+                    }
+                    Err(StackError::InvalidState(_)) => Step::Wait,
+                    Err(e) => panic!("ttcp read failed: {e}"),
+                }
+            }
+            RxState::Done => Step::Done,
+        }
+    }
+}
+
+/// An in-kernel file server (§5): an NFS-like block service over UDP with
+/// share semantics. Requests are 12 bytes — `"RD"`, block (u32), count
+/// (u16), padding — and the response echoes the block number followed by
+/// `count` bytes of that block's deterministic contents.
+pub struct KernelFileServer {
+    task: TaskId,
+    /// The kernel socket, once created.
+    pub sock: Option<SockId>,
+    /// UDP port served.
+    pub port: u16,
+    /// Requests answered.
+    pub requests_served: u64,
+    /// Maximum bytes served per request.
+    pub block_size: usize,
+}
+
+/// Deterministic "disk" contents for block `b`, offset `i`.
+pub fn file_block_byte(block: u32, i: usize) -> u8 {
+    ((block as usize).wrapping_mul(31).wrapping_add(i.wrapping_mul(7))) as u8
+}
+
+impl KernelFileServer {
+    /// A server that will bind a kernel socket on `port`.
+    pub fn new(task: TaskId, port: u16) -> KernelFileServer {
+        KernelFileServer {
+            task,
+            sock: None,
+            port,
+            requests_served: 0,
+            block_size: 8192,
+        }
+    }
+}
+
+impl App for KernelFileServer {
+    fn task(&self) -> TaskId {
+        self.task
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn finished(&self) -> bool {
+        false // servers run forever
+    }
+
+    fn step(&mut self, ctx: &mut SysCtx<'_>) -> Step {
+        if self.sock.is_none() {
+            let s = ctx.kernel.kernel_socket(Proto::Udp);
+            ctx.kernel.sys_bind(s, self.port).expect("bind");
+            self.sock = Some(s);
+        }
+        Step::Wait
+    }
+
+    fn on_kernel_ready(&mut self, ctx: &mut SysCtx<'_>, sock: SockId) -> Step {
+        // Drain every ready request in arrival order.
+        while let Some((chain, from)) = ctx.kernel.kernel_recv(sock) {
+            let flat = chain.flatten_kernel().expect("converted to regular mbufs");
+            if flat.len() < 8 || &flat[..2] != b"RD" {
+                continue;
+            }
+            let block = u32::from_be_bytes([flat[2], flat[3], flat[4], flat[5]]);
+            let count = u16::from_be_bytes([flat[6], flat[7]]) as usize;
+            let count = count.min(self.block_size);
+            // Build the response as a shared kernel mbuf chain (share
+            // semantics: no copy on the way down).
+            let mut resp = Vec::with_capacity(4 + count);
+            resp.extend_from_slice(&block.to_be_bytes());
+            for i in 0..count {
+                resp.push(file_block_byte(block, i));
+            }
+            let resp = Chain::from_bytes(Bytes::from(resp));
+            let fx = ctx
+                .kernel
+                .kernel_sendto(sock, resp, from, ctx.mem, ctx.now)
+                .expect("send response");
+            ctx.absorb(fx);
+            self.requests_served += 1;
+        }
+        Step::Wait
+    }
+}
+
+/// A user-space client for the kernel file server: requests `blocks`
+/// sequential blocks and verifies their contents.
+pub struct FileClient {
+    task: TaskId,
+    server: SockAddr,
+    /// Sequential blocks to request.
+    pub blocks: u32,
+    /// Bytes requested per block.
+    pub count: usize,
+    sock: Option<SockId>,
+    state: u8, // 0=start, 1=waiting reply, 2=done
+    next_block: u32,
+    /// Base virtual address of the request/response buffer.
+    pub buf_vaddr: u64,
+    /// Reply bytes that failed verification.
+    pub verify_errors: u64,
+    /// Blocks received and checked.
+    pub blocks_received: u32,
+    pending_dma: Option<usize>,
+}
+
+impl FileClient {
+    /// A client that requests `blocks` blocks of `count` bytes from `server`.
+    pub fn new(task: TaskId, server: SockAddr, blocks: u32, count: usize) -> FileClient {
+        FileClient {
+            task,
+            server,
+            blocks,
+            count,
+            sock: None,
+            state: 0,
+            next_block: 0,
+            buf_vaddr: 0x30_0000,
+            verify_errors: 0,
+            blocks_received: 0,
+            pending_dma: None,
+        }
+    }
+
+    fn send_request(&mut self, ctx: &mut SysCtx<'_>) {
+        use outboard_host::UserMemory;
+        let mut req = [0u8; 12];
+        req[..2].copy_from_slice(b"RD");
+        req[2..6].copy_from_slice(&self.next_block.to_be_bytes());
+        req[6..8].copy_from_slice(&(self.count as u16).to_be_bytes());
+        ctx.mem
+            .write_user(self.task, self.buf_vaddr, &req)
+            .expect("client buffer");
+        match ctx.kernel.sys_write(
+            self.sock.unwrap(),
+            self.task,
+            self.buf_vaddr,
+            12,
+            ctx.mem,
+            ctx.now,
+        ) {
+            Ok((_, fx)) => ctx.absorb(fx),
+            Err(e) => panic!("file client request: {e}"),
+        }
+    }
+
+    fn check_reply(&mut self, ctx: &mut SysCtx<'_>, bytes: usize) {
+        use outboard_host::UserMemory;
+        let mut data = vec![0u8; bytes];
+        ctx.mem
+            .read_user(self.task, self.buf_vaddr, &mut data)
+            .expect("client buffer");
+        if bytes < 4 {
+            self.verify_errors += 1;
+        } else {
+            let block = u32::from_be_bytes([data[0], data[1], data[2], data[3]]);
+            if block != self.next_block {
+                self.verify_errors += 1;
+            }
+            for (i, &b) in data[4..].iter().enumerate() {
+                if b != file_block_byte(block, i) {
+                    self.verify_errors += 1;
+                }
+            }
+        }
+        self.blocks_received += 1;
+        self.next_block += 1;
+    }
+}
+
+impl App for FileClient {
+    fn task(&self) -> TaskId {
+        self.task
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn finished(&self) -> bool {
+        self.state == 2
+    }
+
+    fn step(&mut self, ctx: &mut SysCtx<'_>) -> Step {
+        use outboard_stack::ReadResult;
+        if self.state == 2 {
+            return Step::Done;
+        }
+        if self.sock.is_none() {
+            ctx.mem
+                .create_region(self.task, self.buf_vaddr, self.count.max(4096) + 64);
+            let s = ctx.kernel.sys_socket(Proto::Udp);
+            ctx.kernel.sys_connect_udp(s, self.server).expect("connect");
+            self.sock = Some(s);
+            self.send_request(ctx);
+            self.state = 1;
+        }
+        // Waiting for (or woken by) a reply.
+        if let Some(bytes) = self.pending_dma.take() {
+            self.check_reply(ctx, bytes);
+            if self.next_block >= self.blocks {
+                self.state = 2;
+                return Step::Done;
+            }
+            self.send_request(ctx);
+        }
+        match ctx.kernel.sys_read(
+            self.sock.unwrap(),
+            self.task,
+            self.buf_vaddr,
+            self.count + 64,
+            ctx.mem,
+            ctx.now,
+        ) {
+            Ok((ReadResult::Done { bytes }, fx)) => {
+                ctx.absorb(fx);
+                self.check_reply(ctx, bytes);
+                if self.next_block >= self.blocks {
+                    self.state = 2;
+                    return Step::Done;
+                }
+                self.send_request(ctx);
+                Step::Continue
+            }
+            Ok((ReadResult::BlockedDma { bytes }, fx)) => {
+                ctx.absorb(fx);
+                self.pending_dma = Some(bytes);
+                Step::Wait
+            }
+            Ok((ReadResult::WouldBlock, fx)) | Ok((ReadResult::Eof, fx)) => {
+                ctx.absorb(fx);
+                Step::Wait
+            }
+            Err(StackError::InvalidState(_)) => Step::Wait,
+            Err(e) => panic!("file client read: {e}"),
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Whole-system testbed: simulated hosts wired through a HIPPI fabric (and
+//! optionally an Ethernet segment), applications driving the socket API,
+//! and the experiment harness that reproduces the paper's measurements.
+//!
+//! * [`world`] — the discrete-event `World`: hosts (kernel + CPU + user
+//!   memory + apps), links, and the event dispatch loop that interprets
+//!   kernel [`outboard_stack::Effect`]s,
+//! * [`apps`] — `ttcp`-style sender/receiver processes and in-kernel
+//!   applications (file server) with the share-semantics interface,
+//! * [`experiment`] — the §7.1 methodology: run a transfer, account CPU per
+//!   the ttcp/util formula, report throughput / utilization / efficiency;
+//!   plus the raw-HIPPI bound and the §7.3 analytic model.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod apps;
+pub mod experiment;
+pub mod world;
+
+pub use experiment::{raw_hippi_throughput, run_ttcp, ExperimentConfig, Metrics};
+pub use world::{App, Step, SysCtx, World};

@@ -1,0 +1,591 @@
+//! The simulated world: hosts, links, apps, and the event loop.
+//!
+//! Timing discipline: kernel entry points mutate protocol state at event
+//! time and return effects. CPU effects serialize on the host's single CPU
+//! (advancing a cursor used to schedule the application's next step), so
+//! syscall rates and interrupt load throttle exactly as on a real machine.
+//! Device events carry their own completion times from the engine models.
+
+use bytes::Bytes;
+use outboard_cab::{CabEvent, PacketId};
+use outboard_host::{Charge, Cpu, HostMem, MachineConfig, TaskId};
+use outboard_sim::{Dur, EventQueue, Time};
+use outboard_stack::{Effect, IfaceId, Kernel, SockId, StackConfig, TimerKind};
+use outboard_netsim::{Capture, Framing, Link};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// What a scheduled event does when it fires. (Field meanings follow the
+/// kernel entry points they feed; see [`outboard_stack::Kernel`].)
+#[allow(missing_docs)]
+pub enum Event {
+    /// Run (or resume) an application.
+    AppStep { host: usize, task: TaskId },
+    /// An in-kernel application's queue became ready.
+    KernelReady { host: usize, sock: SockId },
+    /// SDMA completion loops back into the kernel.
+    SdmaDone {
+        host: usize,
+        iface: IfaceId,
+        token: u64,
+        interrupt: bool,
+        data: Option<Bytes>,
+    },
+    /// CAB receive interrupt.
+    RxInterrupt {
+        host: usize,
+        iface: IfaceId,
+        packet: Option<PacketId>,
+        autodma: Bytes,
+        hw_csum: u16,
+        frame_len: usize,
+    },
+    /// A frame leaves a host on a link (fabric ingress).
+    FabricTx {
+        host: usize,
+        iface: IfaceId,
+        dst_addr: u32,
+        frame: Bytes,
+    },
+    /// A frame reaches a host's interface.
+    FrameArrive {
+        host: usize,
+        iface: IfaceId,
+        frame: Bytes,
+    },
+    /// TCP timer.
+    Timer { host: usize, kind: TimerKind },
+}
+
+/// Application step outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// Schedule the next step as soon as the CPU work completes.
+    Continue,
+    /// Block until a kernel `Wake`.
+    Wait,
+    /// The application finished.
+    Done,
+}
+
+/// The syscall context handed to applications: one host's kernel + memory.
+pub struct SysCtx<'a> {
+    /// Current virtual time.
+    pub now: Time,
+    /// The calling process.
+    pub task: TaskId,
+    /// This host's kernel.
+    pub kernel: &'a mut Kernel,
+    /// This host's user memory.
+    pub mem: &'a mut HostMem,
+    pub(crate) effects: Vec<Effect>,
+    pub(crate) user_us: f64,
+}
+
+impl SysCtx<'_> {
+    /// Account app-level (user mode) CPU, e.g. the ttcp loop body.
+    pub fn user_cpu(&mut self, us: f64) {
+        self.user_us += us;
+    }
+
+    /// Collect effects returned by a kernel call for the harness to apply.
+    pub fn absorb(&mut self, fx: Vec<Effect>) {
+        self.effects.extend(fx);
+    }
+}
+
+/// A simulated process (user application or in-kernel application driver).
+pub trait App: std::any::Any {
+    /// The process identity this app runs as.
+    fn task(&self) -> TaskId;
+    /// Downcasting support so harnesses can read app-specific counters.
+    fn as_any(&self) -> &dyn std::any::Any;
+    /// Perform one scheduling quantum (at most one blocking syscall).
+    fn step(&mut self, ctx: &mut SysCtx<'_>) -> Step;
+    /// An owned in-kernel socket's queue became ready.
+    fn on_kernel_ready(&mut self, _ctx: &mut SysCtx<'_>, _sock: SockId) -> Step {
+        Step::Wait
+    }
+    /// True when the app has completed its work (for run-to-completion).
+    fn finished(&self) -> bool;
+}
+
+/// One simulated host.
+pub struct Host {
+    /// The protocol stack.
+    pub kernel: Kernel,
+    /// User address spaces (real bytes).
+    pub mem: HostMem,
+    /// The single CPU and its accounting.
+    pub cpu: Cpu,
+    /// Applications (slots are `None` only while an app is being run).
+    pub apps: Vec<Option<Box<dyn App>>>,
+    /// The process whose syscalls count as `ttcp` in the accounting.
+    pub measured_task: Option<TaskId>,
+    finished_apps: usize,
+}
+
+impl Host {
+    fn app_index(&self, task: TaskId) -> Option<usize> {
+        self.apps
+            .iter()
+            .position(|a| a.as_ref().map(|a| a.task()) == Some(task))
+    }
+}
+
+/// The whole simulated system.
+pub struct World {
+    /// All simulated hosts.
+    pub hosts: Vec<Host>,
+    queue: EventQueue<Event>,
+    /// Directed links keyed by the sending (host, iface).
+    pub links: HashMap<(usize, IfaceId), Link>,
+    /// HIPPI fabric address → (host, iface).
+    hippi_map: HashMap<u32, (usize, IfaceId)>,
+    /// Ethernet segment: every Eth iface hears every EthTx (point-to-point
+    /// in practice; the MAC filter is the receiver's problem).
+    eth_peers: HashMap<(usize, IfaceId), (usize, IfaceId)>,
+    /// In-kernel socket → owning (host, app index).
+    kernel_socks: HashMap<(usize, SockId), usize>,
+    next_hippi_addr: u32,
+    /// Frames that entered any link (diagnostics).
+    pub frames_on_fabric: u64,
+    /// Optional tcpdump-style capture of every frame entering a link.
+    pub capture: Option<Capture>,
+}
+
+impl World {
+    /// An empty world (add hosts, wire links, add apps, run).
+    pub fn new() -> World {
+        World {
+            hosts: Vec::new(),
+            queue: EventQueue::new(),
+            links: HashMap::new(),
+            hippi_map: HashMap::new(),
+            eth_peers: HashMap::new(),
+            kernel_socks: HashMap::new(),
+            next_hippi_addr: 1,
+            frames_on_fabric: 0,
+            capture: None,
+        }
+    }
+
+    /// Current virtual time (the last dispatched event's timestamp).
+    pub fn now(&self) -> Time {
+        self.queue.now()
+    }
+
+    /// Add a host with the given machine and stack configuration.
+    pub fn add_host(&mut self, name: &str, machine: MachineConfig, cfg: StackConfig) -> usize {
+        let kernel = Kernel::new(name, machine.clone(), cfg);
+        self.hosts.push(Host {
+            kernel,
+            mem: HostMem::new(),
+            cpu: Cpu::new(machine),
+            apps: Vec::new(),
+            measured_task: None,
+            finished_apps: 0,
+        });
+        self.hosts.len() - 1
+    }
+
+    /// Wire two hosts back-to-back through a HIPPI fabric (one CAB each).
+    /// Returns the interface ids.
+    pub fn connect_cab(
+        &mut self,
+        a: usize,
+        ip_a: Ipv4Addr,
+        b: usize,
+        ip_b: Ipv4Addr,
+        latency: Dur,
+        seed: u64,
+    ) -> (IfaceId, IfaceId) {
+        let addr_a = self.next_hippi_addr;
+        let addr_b = self.next_hippi_addr + 1;
+        self.next_hippi_addr += 2;
+        let mtu = 32 * 1024;
+
+        let cab_a = outboard_cab::Cab::new(addr_a, self.hosts[a].kernel.cab_config());
+        let if_a = self.hosts[a].kernel.add_cab_iface(ip_a, cab_a, mtu);
+        let cab_b = outboard_cab::Cab::new(addr_b, self.hosts[b].kernel.cab_config());
+        let if_b = self.hosts[b].kernel.add_cab_iface(ip_b, cab_b, mtu);
+
+        self.hosts[a].kernel.add_route(ip_b, 32, if_a);
+        self.hosts[b].kernel.add_route(ip_a, 32, if_b);
+        self.hosts[a].kernel.add_arp_hippi(if_a, ip_b, addr_b);
+        self.hosts[b].kernel.add_arp_hippi(if_b, ip_a, addr_a);
+
+        self.hippi_map.insert(addr_a, (a, if_a));
+        self.hippi_map.insert(addr_b, (b, if_b));
+        self.links
+            .insert((a, if_a), Link::hippi(latency, seed.wrapping_mul(2) + 1));
+        self.links
+            .insert((b, if_b), Link::hippi(latency, seed.wrapping_mul(2) + 2));
+        (if_a, if_b)
+    }
+
+    /// Wire two hosts with a conventional Ethernet.
+    pub fn connect_eth(
+        &mut self,
+        a: usize,
+        ip_a: Ipv4Addr,
+        b: usize,
+        ip_b: Ipv4Addr,
+        bandwidth_bps: f64,
+        seed: u64,
+    ) -> (IfaceId, IfaceId) {
+        use outboard_wire::ether::MacAddr;
+        let mac_a = MacAddr::local((a * 2 + 1) as u8);
+        let mac_b = MacAddr::local((b * 2 + 2) as u8);
+        let if_a = self.hosts[a].kernel.add_eth_iface(ip_a, mac_a, 1500);
+        let if_b = self.hosts[b].kernel.add_eth_iface(ip_b, mac_b, 1500);
+        self.hosts[a].kernel.add_route(ip_b, 32, if_a);
+        self.hosts[b].kernel.add_route(ip_a, 32, if_b);
+        self.hosts[a].kernel.add_arp_ether(if_a, ip_b, mac_b);
+        self.hosts[b].kernel.add_arp_ether(if_b, ip_a, mac_a);
+        self.eth_peers.insert((a, if_a), (b, if_b));
+        self.eth_peers.insert((b, if_b), (a, if_a));
+        self.links.insert(
+            (a, if_a),
+            Link::serializing(bandwidth_bps, Dur::micros(50), seed.wrapping_mul(3) + 1),
+        );
+        self.links.insert(
+            (b, if_b),
+            Link::serializing(bandwidth_bps, Dur::micros(50), seed.wrapping_mul(3) + 2),
+        );
+        (if_a, if_b)
+    }
+
+    /// Register an application on a host; it gets an initial step at t=now.
+    pub fn add_app(&mut self, host: usize, app: Box<dyn App>, measured: bool) {
+        let task = app.task();
+        if measured {
+            self.hosts[host].measured_task = Some(task);
+        }
+        self.hosts[host].apps.push(Some(app));
+        self.queue.push(self.queue.now(), Event::AppStep { host, task });
+    }
+
+    /// Route in-kernel socket readiness to an app.
+    pub fn register_kernel_sock(&mut self, host: usize, sock: SockId, app_task: TaskId) {
+        let idx = self.hosts[host].app_index(app_task).expect("app exists");
+        self.kernel_socks.insert((host, sock), idx);
+    }
+
+    /// Apply kernel effects produced on `host` at `now`; returns the time
+    /// the effects' CPU work completes (the app-continuation time).
+    fn apply_effects(&mut self, host: usize, effects: Vec<Effect>, now: Time) -> Time {
+        let mut cursor = now;
+        for e in effects {
+            match e {
+                Effect::Cpu { dur, charge } => {
+                    cursor = self.hosts[host].cpu.run(cursor, dur, charge);
+                }
+                Effect::Cab { iface, event } => match event {
+                    CabEvent::SdmaDone {
+                        at,
+                        token,
+                        interrupt,
+                        data,
+                    } => {
+                        self.queue.push(
+                            at.max(now),
+                            Event::SdmaDone {
+                                host,
+                                iface,
+                                token,
+                                interrupt,
+                                data,
+                            },
+                        );
+                    }
+                    CabEvent::FrameOut {
+                        at,
+                        dst,
+                        channel: _,
+                        frame,
+                    } => {
+                        self.queue.push(
+                            at.max(now),
+                            Event::FabricTx {
+                                host,
+                                iface,
+                                dst_addr: dst,
+                                frame,
+                            },
+                        );
+                    }
+                    CabEvent::RxReady {
+                        at,
+                        packet,
+                        autodma,
+                        hw_csum,
+                        frame_len,
+                    } => {
+                        self.queue.push(
+                            at.max(now),
+                            Event::RxInterrupt {
+                                host,
+                                iface,
+                                packet,
+                                autodma,
+                                hw_csum,
+                                frame_len,
+                            },
+                        );
+                    }
+                    CabEvent::RxDropped { .. } => {}
+                },
+                Effect::EthTx { iface, frame } => {
+                    self.queue.push(
+                        cursor,
+                        Event::FabricTx {
+                            host,
+                            iface,
+                            dst_addr: 0,
+                            frame,
+                        },
+                    );
+                }
+                Effect::Loop { iface, frame } => {
+                    self.queue.push(
+                        cursor + Dur::micros(1),
+                        Event::FrameArrive { host, iface, frame },
+                    );
+                }
+                Effect::Wake { task, sock: _ } => {
+                    self.queue.push(cursor, Event::AppStep { host, task });
+                }
+                Effect::Timer { after, kind } => {
+                    self.queue.push(now + after, Event::Timer { host, kind });
+                }
+                Effect::KernelReady { sock } => {
+                    self.queue.push(cursor, Event::KernelReady { host, sock });
+                }
+            }
+        }
+        cursor
+    }
+
+    /// Run one application quantum.
+    fn run_app(&mut self, host: usize, task: TaskId, now: Time, ready_sock: Option<SockId>) {
+        let Some(idx) = self.hosts[host].app_index(task) else {
+            return;
+        };
+        let mut app = self.hosts[host].apps[idx].take().expect("app present");
+        let measured = self.hosts[host].measured_task == Some(task);
+        if measured {
+            self.hosts[host].cpu.set_ttcp_on_cpu(true);
+        }
+        let (step, effects, user_us) = {
+            let h = &mut self.hosts[host];
+            let mut ctx = SysCtx {
+                now,
+                task,
+                kernel: &mut h.kernel,
+                mem: &mut h.mem,
+                effects: Vec::new(),
+                user_us: 0.0,
+            };
+            let step = match ready_sock {
+                Some(sock) => app.on_kernel_ready(&mut ctx, sock),
+                None => app.step(&mut ctx),
+            };
+            (step, ctx.effects, ctx.user_us)
+        };
+        let mut cursor = now;
+        if user_us > 0.0 {
+            let charge = if measured {
+                Charge::TtcpUser
+            } else {
+                Charge::Syscall
+            };
+            cursor = self.hosts[host]
+                .cpu
+                .run(cursor, Dur::from_micros_f64(user_us), charge);
+        }
+        cursor = self.apply_effects(host, effects, cursor);
+        match step {
+            Step::Continue => {
+                self.queue.push(cursor, Event::AppStep { host, task });
+            }
+            Step::Wait => {
+                if measured {
+                    self.hosts[host].cpu.set_ttcp_on_cpu(false);
+                }
+            }
+            Step::Done => {
+                if measured {
+                    self.hosts[host].cpu.set_ttcp_on_cpu(false);
+                }
+                self.hosts[host].finished_apps += 1;
+                self.hosts[host].apps[idx] = Some(app);
+                return;
+            }
+        }
+        self.hosts[host].apps[idx] = Some(app);
+    }
+
+    fn dispatch(&mut self, ev: Event, now: Time) {
+        match ev {
+            Event::AppStep { host, task } => {
+                let finished = self.hosts[host]
+                    .app_index(task)
+                    .and_then(|i| self.hosts[host].apps[i].as_ref())
+                    .map(|a| a.finished())
+                    .unwrap_or(true);
+                if !finished {
+                    self.run_app(host, task, now, None);
+                }
+            }
+            Event::KernelReady { host, sock } => {
+                if let Some(&idx) = self.kernel_socks.get(&(host, sock)) {
+                    let task = self.hosts[host].apps[idx]
+                        .as_ref()
+                        .map(|a| a.task())
+                        .expect("app present");
+                    self.run_app(host, task, now, Some(sock));
+                }
+            }
+            Event::SdmaDone {
+                host,
+                iface,
+                token,
+                interrupt,
+                data,
+            } => {
+                let fx = {
+                    let h = &mut self.hosts[host];
+                    h.kernel
+                        .sdma_done(iface, token, interrupt, data, &mut h.mem, now)
+                };
+                self.apply_effects(host, fx, now);
+            }
+            Event::RxInterrupt {
+                host,
+                iface,
+                packet,
+                autodma,
+                hw_csum,
+                frame_len,
+            } => {
+                let fx = {
+                    let h = &mut self.hosts[host];
+                    h.kernel
+                        .rx_interrupt(iface, packet, autodma, hw_csum, frame_len, &mut h.mem, now)
+                };
+                self.apply_effects(host, fx, now);
+            }
+            Event::FabricTx {
+                host,
+                iface,
+                dst_addr,
+                frame,
+            } => {
+                self.frames_on_fabric += 1;
+                if let Some(cap) = &mut self.capture {
+                    let framing = if dst_addr != 0 {
+                        Framing::Hippi
+                    } else {
+                        Framing::Ether
+                    };
+                    cap.record(
+                        now,
+                        format!("h{host}/if{}", iface.0),
+                        framing,
+                        frame.clone(),
+                    );
+                }
+                let dest = if dst_addr != 0 {
+                    self.hippi_map.get(&dst_addr).copied()
+                } else {
+                    self.eth_peers.get(&(host, iface)).copied()
+                };
+                let Some((dst_host, dst_iface)) = dest else {
+                    return;
+                };
+                let Some(link) = self.links.get_mut(&(host, iface)) else {
+                    return;
+                };
+                for d in link.transmit(frame, now) {
+                    self.queue.push(
+                        d.at,
+                        Event::FrameArrive {
+                            host: dst_host,
+                            iface: dst_iface,
+                            frame: d.payload,
+                        },
+                    );
+                }
+            }
+            Event::FrameArrive { host, iface, frame } => {
+                let fx = {
+                    let h = &mut self.hosts[host];
+                    h.kernel.frame_arrive(iface, frame, &mut h.mem, now)
+                };
+                self.apply_effects(host, fx, now);
+            }
+            Event::Timer { host, kind } => {
+                let fx = {
+                    let h = &mut self.hosts[host];
+                    h.kernel.timer_fire(kind, &mut h.mem, now)
+                };
+                self.apply_effects(host, fx, now);
+            }
+        }
+    }
+
+    /// Run until the queue drains or `deadline` passes. Returns the final
+    /// virtual time.
+    pub fn run_until(&mut self, deadline: Time) -> Time {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (now, ev) = self.queue.pop().unwrap();
+            self.dispatch(ev, now);
+        }
+        self.queue.now()
+    }
+
+    /// Run until a predicate over the world holds (checked between events)
+    /// or the deadline passes; returns true when the predicate held.
+    pub fn run_while(&mut self, deadline: Time, mut keep_going: impl FnMut(&World) -> bool) -> bool {
+        loop {
+            if !keep_going(self) {
+                return true;
+            }
+            let Some(t) = self.queue.peek_time() else {
+                return !keep_going(self);
+            };
+            if t > deadline {
+                return false;
+            }
+            let (now, ev) = self.queue.pop().unwrap();
+            self.dispatch(ev, now);
+        }
+    }
+
+    /// Apply effects produced by directly-driven kernel calls (tests that
+    /// bypass the app machinery).
+    pub fn apply_external_effects(&mut self, host: usize, effects: Vec<Effect>) {
+        let now = self.queue.now();
+        self.apply_effects(host, effects, now);
+    }
+
+    /// Kick an application (initial scheduling or test-driven wake).
+    pub fn schedule_app(&mut self, host: usize, task: TaskId, at: Time) {
+        self.queue.push(at, Event::AppStep { host, task });
+    }
+
+    /// Number of pending events (diagnostics).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl Default for World {
+    fn default() -> Self {
+        World::new()
+    }
+}

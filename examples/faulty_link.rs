@@ -1,0 +1,38 @@
+//! Retransmission from outboard memory under packet loss (§4.3).
+//!
+//! A lossy HIPPI link forces TCP retransmissions. On the single-copy stack
+//! the retransmitted data is *already in CAB network memory*: the driver
+//! re-DMAs only a fresh header and the hardware folds in the saved body
+//! checksum — watch the `header-only retransmits` counter. Data integrity
+//! is verified end to end under loss.
+//!
+//! Run with: `cargo run --release --example faulty_link`
+
+use outboard::host::MachineConfig;
+use outboard::stack::StackConfig;
+use outboard::testbed::{run_ttcp, ExperimentConfig};
+
+fn main() {
+    println!("drop%   thr_Mbps  rexmt  hdr_only_rexmt  verify_errs  completed");
+    for drop_pct in [0.0, 0.5, 1.0, 2.0, 5.0] {
+        let mut stack = StackConfig::single_copy();
+        stack.force_single_copy = true;
+        let mut cfg = ExperimentConfig::new(MachineConfig::alpha_3000_400(), stack, 64 * 1024);
+        cfg.total_bytes = 4 * 1024 * 1024;
+        cfg.drop_p = drop_pct / 100.0;
+        cfg.seed = 1234;
+        let m = run_ttcp(&cfg);
+        println!(
+            "{:5.1}  {:9.1}  {:5}  {:14}  {:11}  {}",
+            drop_pct,
+            m.throughput_mbps,
+            m.retransmits,
+            m.header_only_retransmits,
+            m.verify_errors,
+            m.completed
+        );
+        assert_eq!(m.verify_errors, 0, "data must survive loss intact");
+    }
+    println!("\nEvery retransmission delivered correct data; header-only");
+    println!("retransmits reused the body checksum saved by the CAB.");
+}

@@ -1,0 +1,25 @@
+//! Watch the wire: a tcpdump-style view of a short single-copy transfer —
+//! handshake, 32 KB data segments (with the outboard checksum already
+//! inserted by the CAB), delayed ACKs, FIN teardown.
+//!
+//! Run with: `cargo run --example tcpdump`
+
+use outboard::host::MachineConfig;
+use outboard::netsim::Capture;
+use outboard::sim::{Dur, Time};
+use outboard::stack::StackConfig;
+use outboard::testbed::experiment::build_ttcp_world;
+use outboard::testbed::ExperimentConfig;
+
+fn main() {
+    let mut stack = StackConfig::single_copy();
+    stack.force_single_copy = true;
+    let mut cfg = ExperimentConfig::new(MachineConfig::alpha_3000_400(), stack, 64 * 1024);
+    cfg.total_bytes = 128 * 1024;
+    let mut w = build_ttcp_world(&cfg);
+    w.capture = Some(Capture::new());
+    w.run_until(Time::ZERO + Dur::secs(5));
+    let cap = w.capture.take().unwrap();
+    println!("== frames on the fabric ({}) ==", cap.frames().len());
+    print!("{}", cap.dump());
+}

@@ -1,0 +1,60 @@
+//! A ttcp-style benchmark front-end over the simulation: pick the machine,
+//! the stack, and the write size, and get the paper's three metrics.
+//!
+//! Usage:
+//!   cargo run --release --example ttcp -- [single|unmod] [400|300lx] [write_kb] [total_mb]
+//!
+//! Defaults: single 400 64 8
+
+use outboard::host::MachineConfig;
+use outboard::stack::StackConfig;
+use outboard::testbed::{run_ttcp, ExperimentConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mode = args.get(1).map(String::as_str).unwrap_or("single");
+    let machine = args.get(2).map(String::as_str).unwrap_or("400");
+    let write_kb: usize = args
+        .get(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let total_mb: usize = args
+        .get(4)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+
+    let machine = match machine {
+        "300lx" | "300" | "lx" => MachineConfig::alpha_3000_300lx(),
+        _ => MachineConfig::alpha_3000_400(),
+    };
+    let stack = match mode {
+        "unmod" | "unmodified" => StackConfig::unmodified(),
+        _ => {
+            let mut s = StackConfig::single_copy();
+            s.force_single_copy = true;
+            s
+        }
+    };
+    let mode_name = match stack.mode {
+        outboard::stack::StackMode::SingleCopy => "single-copy",
+        outboard::stack::StackMode::Unmodified => "unmodified",
+    };
+
+    let mut cfg = ExperimentConfig::new(machine.clone(), stack, write_kb * 1024);
+    cfg.total_bytes = total_mb * 1024 * 1024;
+    println!(
+        "ttcp: {} stack on {}, {} KB writes, {} MB total",
+        mode_name, machine.name, write_kb, total_mb
+    );
+    let m = run_ttcp(&cfg);
+    println!("  completed            : {}", m.completed);
+    println!("  elapsed (virtual)    : {}", m.elapsed);
+    println!("  throughput           : {:8.1} Mbit/s", m.throughput_mbps);
+    println!("  sender utilization   : {:8.2}", m.sender_utilization);
+    println!("  receiver utilization : {:8.2}", m.receiver_utilization);
+    println!("  sender efficiency    : {:8.0} Mbit/s", m.sender_efficiency_mbps);
+    println!("  receiver efficiency  : {:8.0} Mbit/s", m.receiver_efficiency_mbps);
+    println!("  writes               : {}", m.writes);
+    println!("  retransmits          : {}", m.retransmits);
+    println!("  verify errors        : {}", m.verify_errors);
+}

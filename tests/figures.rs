@@ -1,0 +1,150 @@
+//! Shape assertions over the headline evaluation (Figures 5 and 6): the
+//! relationships the paper reports must hold in the simulation. These run a
+//! handful of full-system transfers, so totals are kept modest.
+
+use outboard::host::MachineConfig;
+use outboard::stack::StackConfig;
+use outboard::testbed::{raw_hippi_throughput, run_ttcp, ExperimentConfig};
+
+fn point(machine: &MachineConfig, single: bool, write_kb: usize) -> outboard::testbed::Metrics {
+    let stack = if single {
+        let mut s = StackConfig::single_copy();
+        s.force_single_copy = true;
+        s
+    } else {
+        StackConfig::unmodified()
+    };
+    let mut cfg = ExperimentConfig::new(machine.clone(), stack, write_kb * 1024);
+    cfg.total_bytes = 4 * 1024 * 1024;
+    cfg.verify = false;
+    let m = run_ttcp(&cfg);
+    assert!(m.completed, "{}KB {single}: {m:?}", write_kb);
+    m
+}
+
+/// Figure 5(c): the modified stack is far more efficient at large writes
+/// ("almost three times") and less efficient at tiny ones, crossing in the
+/// single-digit-KB band.
+#[test]
+fn fig5_efficiency_shape() {
+    let m400 = MachineConfig::alpha_3000_400();
+    let sc_big = point(&m400, true, 512);
+    let un_big = point(&m400, false, 512);
+    let ratio = sc_big.sender_efficiency_mbps / un_big.sender_efficiency_mbps;
+    assert!(
+        (2.3..3.3).contains(&ratio),
+        "large-write efficiency ratio {ratio} (paper: ~3x)"
+    );
+    let sc_small = point(&m400, true, 2);
+    let un_small = point(&m400, false, 2);
+    assert!(
+        sc_small.sender_efficiency_mbps < un_small.sender_efficiency_mbps,
+        "single-copy must lose at 2 KB writes"
+    );
+    let sc_16 = point(&m400, true, 16);
+    let un_16 = point(&m400, false, 16);
+    assert!(
+        sc_16.sender_efficiency_mbps > un_16.sender_efficiency_mbps,
+        "single-copy must win by 16 KB writes"
+    );
+}
+
+/// Figure 5(a/b): similar throughput at large writes, much lower CPU for
+/// the single-copy stack; raw HIPPI bounds both.
+#[test]
+fn fig5_throughput_and_utilization_shape() {
+    let m400 = MachineConfig::alpha_3000_400();
+    let sc = point(&m400, true, 256);
+    let un = point(&m400, false, 256);
+    let raw = raw_hippi_throughput(&m400, 32 * 1024, 200);
+    let rel = (sc.throughput_mbps - un.throughput_mbps).abs() / un.throughput_mbps;
+    assert!(rel < 0.1, "throughputs should be similar at 256 KB: {rel}");
+    assert!(sc.throughput_mbps <= raw * 1.02, "raw HIPPI is an upper bound");
+    assert!(
+        sc.sender_utilization < un.sender_utilization * 0.6,
+        "single-copy must leave far more CPU: {} vs {}",
+        sc.sender_utilization,
+        un.sender_utilization
+    );
+}
+
+/// Figure 6: on the half-speed machine the unmodified stack saturates its
+/// CPU and the single-copy stack delivers higher throughput.
+#[test]
+fn fig6_slow_machine_inversion() {
+    let lx = MachineConfig::alpha_3000_300lx();
+    let sc = point(&lx, true, 512);
+    let un = point(&lx, false, 512);
+    assert!(
+        un.sender_utilization > 0.95,
+        "unmodified stack should saturate the LX: {}",
+        un.sender_utilization
+    );
+    assert!(
+        sc.throughput_mbps > un.throughput_mbps,
+        "single-copy should out-run the CPU-bound stack: {} vs {}",
+        sc.throughput_mbps,
+        un.throughput_mbps
+    );
+}
+
+/// §7.2's window remark: a smaller TCP window trades throughput for a
+/// slightly better efficiency on the unmodified stack (cache locality).
+#[test]
+fn window_size_cache_effect() {
+    let m400 = MachineConfig::alpha_3000_400();
+    let run_with_window = |kb: usize| {
+        let mut stack = StackConfig::unmodified();
+        stack.sock_buf = kb * 1024;
+        let mut cfg = ExperimentConfig::new(m400.clone(), stack, 256 * 1024);
+        cfg.total_bytes = 4 * 1024 * 1024;
+        cfg.verify = false;
+        run_ttcp(&cfg)
+    };
+    let small = run_with_window(64);
+    let big = run_with_window(512);
+    assert!(small.completed && big.completed);
+    assert!(
+        small.throughput_mbps < big.throughput_mbps,
+        "smaller window, lower throughput"
+    );
+    assert!(
+        small.sender_efficiency_mbps > big.sender_efficiency_mbps,
+        "smaller window, slightly higher efficiency: {} vs {}",
+        small.sender_efficiency_mbps,
+        big.sender_efficiency_mbps
+    );
+}
+
+/// The receiver's efficiency tracks the sender's ("the results on the
+/// receiver are similar", §7.2).
+#[test]
+fn receiver_efficiency_is_similar() {
+    let m400 = MachineConfig::alpha_3000_400();
+    for single in [false, true] {
+        let p = point(&m400, single, 256);
+        let ratio = p.receiver_efficiency_mbps / p.sender_efficiency_mbps;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "single={single}: receiver {:.0} vs sender {:.0}",
+            p.receiver_efficiency_mbps,
+            p.sender_efficiency_mbps
+        );
+    }
+}
+
+/// Soak: a 64 MB single-copy transfer (ignored by default; run with
+/// `cargo test --release -- --ignored`).
+#[test]
+#[ignore = "long-running soak; use --ignored"]
+fn soak_64mb_single_copy() {
+    let mut stack = StackConfig::single_copy();
+    stack.force_single_copy = true;
+    let mut cfg = ExperimentConfig::new(MachineConfig::alpha_3000_400(), stack, 256 * 1024);
+    cfg.total_bytes = 64 * 1024 * 1024;
+    let m = run_ttcp(&cfg);
+    assert!(m.completed);
+    assert_eq!(m.bytes, 64 * 1024 * 1024);
+    assert_eq!(m.verify_errors, 0);
+    assert!(m.throughput_mbps > 100.0);
+}

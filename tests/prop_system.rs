@@ -1,0 +1,50 @@
+//! System-level property tests: for arbitrary (but bounded) combinations
+//! of write size, alignment, stack mode, loss rate and seed, a transfer
+//! must complete with byte-exact delivery. These catch interaction bugs no
+//! single-scenario test would.
+
+use outboard::host::MachineConfig;
+use outboard::stack::{StackConfig, StackMode};
+use outboard::testbed::{run_ttcp, ExperimentConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // each case is a whole-system run
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn any_transfer_completes_and_verifies(
+        write_kb in 1usize..129,
+        misalign in 0u64..4,
+        single_copy in any::<bool>(),
+        force in any::<bool>(),
+        lazy in any::<bool>(),
+        align_split in any::<bool>(),
+        drop_pct in 0u32..3,
+        seed in 1u64..1_000_000,
+    ) {
+        let mut stack = if single_copy {
+            StackConfig::single_copy()
+        } else {
+            StackConfig::unmodified()
+        };
+        stack.force_single_copy = force && stack.mode == StackMode::SingleCopy;
+        stack.lazy_vm = lazy;
+        stack.align_split = align_split;
+        let mut cfg = ExperimentConfig::new(
+            MachineConfig::alpha_3000_400(),
+            stack,
+            write_kb * 1024,
+        );
+        cfg.total_bytes = 768 * 1024;
+        cfg.sender_misalign = misalign;
+        cfg.drop_p = drop_pct as f64 / 100.0;
+        cfg.seed = seed;
+        let m = run_ttcp(&cfg);
+        prop_assert!(m.completed, "stalled: {m:?}");
+        prop_assert_eq!(m.bytes, 768 * 1024);
+        prop_assert_eq!(m.verify_errors, 0, "corruption: {:?}", m);
+    }
+}

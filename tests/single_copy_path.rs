@@ -1,0 +1,164 @@
+//! Integration tests for the single-copy data path (§3, §4): end-to-end
+//! transfers through the whole simulated system, checking the *mechanisms*
+//! (descriptor flow, outboard checksumming, buffer lifecycle) and not just
+//! the outcomes.
+
+use outboard::host::MachineConfig;
+use outboard::sim::{Dur, Time};
+use outboard::stack::{StackConfig, StackMode};
+use outboard::testbed::experiment::build_ttcp_world;
+use outboard::testbed::{run_ttcp, ExperimentConfig};
+
+fn sc_config(write_size: usize, total: usize) -> ExperimentConfig {
+    let mut stack = StackConfig::single_copy();
+    stack.force_single_copy = true;
+    let mut cfg = ExperimentConfig::new(MachineConfig::alpha_3000_400(), stack, write_size);
+    cfg.total_bytes = total;
+    cfg
+}
+
+#[test]
+fn bulk_transfer_delivers_exact_bytes() {
+    for write_size in [3 * 1024, 32 * 1024, 200 * 1024] {
+        let cfg = sc_config(write_size, 2 * 1024 * 1024);
+        let m = run_ttcp(&cfg);
+        assert!(m.completed, "stalled at write size {write_size}: {m:?}");
+        assert_eq!(m.bytes, 2 * 1024 * 1024);
+        assert_eq!(m.verify_errors, 0, "corruption at write size {write_size}");
+    }
+}
+
+#[test]
+fn odd_sized_writes_and_totals() {
+    // Deliberately awkward: write size not a power of two, total not a
+    // multiple of the write size, everything word-aligned but ragged.
+    let cfg = sc_config(77 * 1024 + 4, 1_000_000);
+    let m = run_ttcp(&cfg);
+    assert!(m.completed);
+    assert_eq!(m.bytes, 1_000_000);
+    assert_eq!(m.verify_errors, 0);
+}
+
+#[test]
+fn every_data_packet_uses_outboard_checksum() {
+    let cfg = sc_config(64 * 1024, 1024 * 1024);
+    let m = run_ttcp(&cfg);
+    assert!(m.completed);
+    assert!(m.hw_checksums >= 16, "hw checksums: {}", m.hw_checksums);
+    assert_eq!(m.sw_checksums, 0, "single-copy path must never Read_C");
+}
+
+#[test]
+fn uio_descriptors_convert_to_wcab() {
+    let cfg = sc_config(64 * 1024, 1024 * 1024);
+    let mut w = build_ttcp_world(&cfg);
+    w.run_until(Time::ZERO + Dur::secs(10));
+    let s = &w.hosts[0].kernel.stats;
+    assert!(s.uio_to_wcab >= 16, "conversions: {}", s.uio_to_wcab);
+    // Pages were pinned and mapped in the socket layer.
+    let vm = w.hosts[0].kernel.vm.stats();
+    assert!(vm.pin_calls > 0 && vm.pages_pinned > 0);
+    // Eager mode releases everything once the transfer is done.
+    assert_eq!(
+        w.hosts[0].kernel.vm.pinned_page_count(),
+        0,
+        "leaked pinned pages"
+    );
+}
+
+#[test]
+fn outboard_buffers_are_freed_on_both_sides() {
+    let cfg = sc_config(128 * 1024, 2 * 1024 * 1024);
+    let mut w = build_ttcp_world(&cfg);
+    w.run_until(Time::ZERO + Dur::secs(20));
+    for (host, side) in [(0usize, "sender"), (1usize, "receiver")] {
+        let iface = &w.hosts[host].kernel.ifaces[0];
+        if let outboard::stack::driver::IfaceKind::Cab(cab) = &iface.kind {
+            assert_eq!(
+                cab.cab.netmem().packet_count(),
+                0,
+                "{side} leaked outboard packets"
+            );
+            assert_eq!(
+                cab.cab.netmem().pages_free(),
+                cab.cab.netmem().pages_total(),
+                "{side} leaked outboard pages"
+            );
+        } else {
+            panic!("expected CAB iface");
+        }
+    }
+}
+
+#[test]
+fn unmodified_stack_still_works_over_the_cab() {
+    // Interoperability baseline: same device, traditional path.
+    let mut cfg = sc_config(64 * 1024, 1024 * 1024);
+    cfg.stack = StackConfig::unmodified();
+    let m = run_ttcp(&cfg);
+    assert!(m.completed);
+    assert_eq!(m.verify_errors, 0);
+    assert_eq!(m.hw_checksums, 0);
+    assert!(m.sw_checksums > 0);
+}
+
+#[test]
+fn adaptive_path_switches_at_threshold() {
+    // Below the 16 KB threshold the adaptive stack copies through kernel
+    // buffers (software checksum); above, it goes single-copy.
+    let mut small = ExperimentConfig::new(
+        MachineConfig::alpha_3000_400(),
+        StackConfig::single_copy(),
+        4 * 1024,
+    );
+    small.total_bytes = 256 * 1024;
+    let m = run_ttcp(&small);
+    assert!(m.completed);
+    // In SingleCopy mode even copied data may use hw checksum insertion;
+    // the real signal is the VM system: no pages pinned for small writes.
+    let mut w = build_ttcp_world(&small);
+    w.run_until(Time::ZERO + Dur::secs(5));
+    assert_eq!(w.hosts[0].kernel.vm.stats().pages_pinned, 0);
+
+    let mut big = small.clone();
+    big.write_size = 64 * 1024;
+    big.total_bytes = 1024 * 1024;
+    let mut w = build_ttcp_world(&big);
+    w.run_until(Time::ZERO + Dur::secs(5));
+    assert!(w.hosts[0].kernel.vm.stats().pages_pinned > 0);
+}
+
+#[test]
+fn misaligned_writes_fall_back_and_still_verify() {
+    let mut cfg = sc_config(64 * 1024, 1024 * 1024);
+    cfg.sender_misalign = 2;
+    let m = run_ttcp(&cfg);
+    assert!(m.completed);
+    assert_eq!(m.verify_errors, 0, "fallback path corrupted data");
+    let mut w = build_ttcp_world(&cfg);
+    w.run_until(Time::ZERO + Dur::secs(10));
+    assert!(
+        w.hosts[0].kernel.stats.aligned_fallbacks > 0,
+        "misaligned buffer should hit the §4.5 fallback"
+    );
+}
+
+#[test]
+fn single_copy_stack_mode_is_observable() {
+    let cfg = sc_config(64 * 1024, 512 * 1024);
+    assert_eq!(cfg.stack.mode, StackMode::SingleCopy);
+    let m = run_ttcp(&cfg);
+    assert!(m.completed);
+    // Blocked-write semantics: one Wake per write → writes counted.
+    assert_eq!(m.writes, 8);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let cfg = sc_config(32 * 1024, 1024 * 1024);
+    let a = run_ttcp(&cfg);
+    let b = run_ttcp(&cfg);
+    assert_eq!(a.elapsed, b.elapsed, "simulation must be deterministic");
+    assert_eq!(a.bytes, b.bytes);
+    assert!((a.throughput_mbps - b.throughput_mbps).abs() < 1e-9);
+}
