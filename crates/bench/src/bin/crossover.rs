@@ -4,7 +4,12 @@ use outboard_host::MachineConfig;
 use outboard_stack::StackConfig;
 use outboard_testbed::{run_ttcp, ExperimentConfig};
 
-fn run(machine: &MachineConfig, stack: StackConfig, ws: usize, misalign: u64) -> outboard_testbed::Metrics {
+fn run(
+    machine: &MachineConfig,
+    stack: StackConfig,
+    ws: usize,
+    misalign: u64,
+) -> outboard_testbed::Metrics {
     let mut cfg = ExperimentConfig::new(machine.clone(), stack, ws);
     cfg.total_bytes = (ws * 64).clamp(2 * 1024 * 1024, 8 * 1024 * 1024);
     cfg.verify = false;
@@ -15,7 +20,10 @@ fn run(machine: &MachineConfig, stack: StackConfig, ws: usize, misalign: u64) ->
 fn main() {
     let m = MachineConfig::alpha_3000_400();
     println!("== ablation 1 (§4.4.3): forced single-copy vs adaptive path choice ==\n");
-    println!("{:>8} | {:>10} {:>10} {:>10}", "size_KB", "forced_eff", "adapt_eff", "unmod_eff");
+    println!(
+        "{:>8} | {:>10} {:>10} {:>10}",
+        "size_KB", "forced_eff", "adapt_eff", "unmod_eff"
+    );
     for k in [1usize, 4, 8, 16, 64] {
         let ws = k * 1024;
         let mut forced = StackConfig::single_copy();
@@ -50,7 +58,10 @@ fn main() {
     println!("most of the single-copy win by sending one short copied packet.");
 
     println!("\n== ablation 3 (§4.4.1): lazy unpinning with buffer reuse ==\n");
-    println!("{:>6} | {:>9} {:>8} {:>9}", "lazy", "thr_Mbps", "util", "eff_Mbps");
+    println!(
+        "{:>6} | {:>9} {:>8} {:>9}",
+        "lazy", "thr_Mbps", "util", "eff_Mbps"
+    );
     for lazy in [false, true] {
         let mut stack = StackConfig::single_copy();
         stack.force_single_copy = true;
@@ -64,7 +75,10 @@ fn main() {
     println!("\nttcp reuses one buffer, so lazy unpinning eliminates most VM cost.");
 
     println!("\n== ablation 4 (§7.2): TCP window size vs unmodified-stack efficiency ==\n");
-    println!("{:>9} | {:>9} {:>8} {:>9}", "window_KB", "thr_Mbps", "util", "eff_Mbps");
+    println!(
+        "{:>9} | {:>9} {:>8} {:>9}",
+        "window_KB", "thr_Mbps", "util", "eff_Mbps"
+    );
     for wk in [64usize, 128, 256, 512] {
         let mut stack = StackConfig::unmodified();
         stack.sock_buf = wk * 1024;
@@ -79,4 +93,7 @@ fn main() {
     }
     println!("\npaper: 'reducing the TCP window increases efficiency slightly,");
     println!("even though the throughput is lower' (a cache effect).");
+    if outboard_bench::stats_requested() {
+        outboard_bench::emit_stats("crossover", &m);
+    }
 }

@@ -37,7 +37,10 @@ fn main() {
         ("Unpin", linreg(&ns, &unpin_y), (48.0, 3.9)),
         ("Map", linreg(&ns, &map_y), (6.0, 4.5)),
     ];
-    println!("{:>9} | {:>22} | {:>22} | {:>6}", "Operation", "measured (us)", "paper Table 2 (us)", "r^2");
+    println!(
+        "{:>9} | {:>22} | {:>22} | {:>6}",
+        "Operation", "measured (us)", "paper Table 2 (us)", "r^2"
+    );
     for (name, fit, (b, m)) in rows {
         println!(
             "{:>9} | {:>9.1} + {:>5.1} * n | {:>9.1} + {:>5.1} * n | {:>6.4}",

@@ -51,8 +51,16 @@ pub fn print_figure(machine: &MachineConfig) {
     println!("# series: unmodified stack, modified (single-copy) stack, raw HIPPI");
     println!(
         "{:>8} | {:>9} {:>9} {:>9} | {:>8} {:>8} | {:>9} {:>9} | {:>9} {:>9}",
-        "size_KB", "un_Mbps", "sc_Mbps", "raw_Mbps", "un_util", "sc_util", "un_eff", "sc_eff",
-        "un_eff_rx", "sc_eff_rx"
+        "size_KB",
+        "un_Mbps",
+        "sc_Mbps",
+        "raw_Mbps",
+        "un_util",
+        "sc_util",
+        "un_eff",
+        "sc_eff",
+        "un_eff_rx",
+        "sc_eff_rx"
     );
     let mut csv = String::from(
         "size_kb,unmodified_mbps,singlecopy_mbps,raw_mbps,unmodified_util,singlecopy_util,unmodified_eff,singlecopy_eff\n",
@@ -89,4 +97,32 @@ pub fn print_figure(machine: &MachineConfig) {
         ));
     }
     println!("\n-- CSV --\n{csv}");
+}
+
+/// Did the user pass the shared `--stats` flag?
+pub fn stats_requested() -> bool {
+    std::env::args().any(|a| a == "--stats")
+}
+
+/// Render and persist a full metrics snapshot for one representative run.
+///
+/// Runs a single-copy 64 KB-write transfer on `machine`, prints the
+/// deterministic [`MetricsRegistry::report`] (SDMA/MDMA busy fractions,
+/// page-pool high-water marks, CPU shares, netstat-style TCP counters, link
+/// and fabric totals), and writes machine-readable `stats_<tag>.json` and
+/// `stats_<tag>.csv` snapshots next to the figure's results files.
+///
+/// [`MetricsRegistry::report`]: outboard_sim::MetricsRegistry::report
+pub fn emit_stats(tag: &str, machine: &MachineConfig) {
+    let m = figure_point(machine, true, 64 * 1024);
+    println!("\n== per-run stats (single-copy stack, 64 KB writes) ==\n");
+    print!("{}", m.stats.report());
+    let json = format!("stats_{tag}.json");
+    let csv = format!("stats_{tag}.csv");
+    match std::fs::write(&json, m.stats.to_json())
+        .and_then(|()| std::fs::write(&csv, m.stats.to_csv()))
+    {
+        Ok(()) => println!("\nwrote {json} and {csv}"),
+        Err(e) => eprintln!("\nfailed to write stats snapshots: {e}"),
+    }
 }

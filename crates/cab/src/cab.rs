@@ -23,9 +23,11 @@ use crate::engine::EngineTimeline;
 use crate::netmem::{NetworkMemory, PacketId};
 use bytes::Bytes;
 use outboard_host::{MemFault, TaskId, UserMemory};
+use outboard_sim::obs::Scope;
 use outboard_sim::{Dur, Time};
 use outboard_wire::checksum::{fold, Accumulator};
 use outboard_wire::hippi::HippiAddr;
+use std::collections::BTreeMap;
 
 /// One scatter/gather element of a transmit SDMA request.
 #[derive(Clone, Debug)]
@@ -244,6 +246,9 @@ pub struct Cab {
     mdma_rx: EngineTimeline,
     /// Device statistics.
     pub stats: CabStats,
+    /// Frames transmitted per MAC logical channel (queue-depth proxy for the
+    /// HOL analysis in §6: which channels the traffic actually spread over).
+    pub per_channel_tx: BTreeMap<u16, u64>,
 }
 
 impl Cab {
@@ -258,6 +263,7 @@ impl Cab {
             mdma_tx: EngineTimeline::new(),
             mdma_rx: EngineTimeline::new(),
             stats: CabStats::default(),
+            per_channel_tx: BTreeMap::new(),
         }
     }
 
@@ -397,7 +403,8 @@ impl Cab {
                 pkt.saved_body_csum = Some(s);
                 s
             };
-            let seed = u16::from_be_bytes([pkt.data[spec.csum_offset], pkt.data[spec.csum_offset + 1]]);
+            let seed =
+                u16::from_be_bytes([pkt.data[spec.csum_offset], pkt.data[spec.csum_offset + 1]]);
             let final_csum = !fold(seed as u32 + body_sum as u32);
             pkt.data[spec.csum_offset..spec.csum_offset + 2]
                 .copy_from_slice(&final_csum.to_be_bytes());
@@ -438,7 +445,8 @@ impl Cab {
         let misaligned = match req.dst {
             SdmaDst::User { vaddr, .. } => {
                 let a = self.cfg.burst_align as u64;
-                usize::from(vaddr % a != 0) + usize::from(!(vaddr + req.len as u64).is_multiple_of(a))
+                usize::from(vaddr % a != 0)
+                    + usize::from(!(vaddr + req.len as u64).is_multiple_of(a))
             }
             SdmaDst::Kernel => 0,
         };
@@ -447,7 +455,8 @@ impl Cab {
 
         let data = match req.dst {
             SdmaDst::User { task, vaddr } => {
-                mem.write_user(task, vaddr, &buf).map_err(CabError::MemFault)?;
+                mem.write_user(task, vaddr, &buf)
+                    .map_err(CabError::MemFault)?;
                 None
             }
             SdmaDst::Kernel => Some(Bytes::from(buf)),
@@ -495,6 +504,7 @@ impl Cab {
         }
         self.stats.frames_tx += 1;
         self.stats.bytes_tx += frame.len() as u64;
+        *self.per_channel_tx.entry(channel).or_insert(0) += 1;
         Ok(CabEvent::FrameOut {
             at: done,
             dst,
@@ -539,9 +549,12 @@ impl Cab {
         // host-bus engine), then interrupt.
         let auto_len = self.cfg.autodma_bytes().min(len);
         let autodma = frame.slice(..auto_len);
-        let done = self
-            .sdma
-            .run(mdma_done, Dur::from_micros_f64(2.0), auto_len, self.cfg.sdma_bps());
+        let done = self.sdma.run(
+            mdma_done,
+            Dur::from_micros_f64(2.0),
+            auto_len,
+            self.cfg.sdma_bps(),
+        );
 
         self.stats.frames_rx += 1;
         self.stats.bytes_rx += len as u64;
@@ -571,12 +584,49 @@ impl Cab {
 
     /// SDMA engine busy time so far (for adaptor-utilization reporting).
     pub fn sdma_busy(&self) -> Dur {
-        self.sdma.total_busy
+        self.sdma.total_busy()
     }
 
     /// When the SDMA engine's current backlog drains.
     pub fn sdma_busy_until(&self) -> Time {
         self.sdma.busy_until()
+    }
+
+    /// Publish the adaptor's metrics — engine busy fractions (the paper's
+    /// §7.1 utilization accounting), network-memory occupancy, and frame
+    /// counters — into a registry scope.
+    pub fn publish_metrics(&self, s: &mut Scope<'_>) {
+        s.busy_frac("sdma.busy_frac", self.sdma.tracker());
+        s.counter("sdma.requests", self.sdma.requests);
+        s.counter("sdma.bytes", self.sdma.bytes);
+        s.busy_frac("mdma_tx.busy_frac", self.mdma_tx.tracker());
+        s.counter("mdma_tx.requests", self.mdma_tx.requests);
+        s.busy_frac("mdma_rx.busy_frac", self.mdma_rx.tracker());
+        s.counter("mdma_rx.requests", self.mdma_rx.requests);
+
+        let nm = &self.netmem;
+        s.gauge(
+            "netmem.pages_used",
+            (nm.pages_total() - nm.pages_free()) as i64,
+            nm.pages_hwm() as i64,
+        );
+        s.counter("netmem.pages_total", nm.pages_total() as u64);
+        s.counter("netmem.allocs", nm.allocs());
+        s.counter("netmem.alloc_failures", nm.alloc_failures());
+        s.counter("netmem.frees", nm.frees());
+
+        s.counter("frames_tx", self.stats.frames_tx);
+        s.counter("frames_rx", self.stats.frames_rx);
+        s.counter("bytes_tx", self.stats.bytes_tx);
+        s.counter("bytes_rx", self.stats.bytes_rx);
+        s.counter("sdma_tx_requests", self.stats.sdma_tx_requests);
+        s.counter("sdma_rx_requests", self.stats.sdma_rx_requests);
+        s.counter("rx_dropped_nomem", self.stats.rx_dropped_nomem);
+        s.counter("body_csum_reuses", self.stats.body_csum_reuses);
+        s.counter("autodma_only_rx", self.stats.autodma_only_rx);
+        for (ch, n) in &self.per_channel_tx {
+            s.counter(&format!("channel.{ch}.frames_tx"), *n);
+        }
     }
 }
 
@@ -659,7 +709,9 @@ mod tests {
         let (mut cab, hm, task) = setup();
         let (id, ev) = tx_packet(&mut cab, &hm, task, 0xABCD, 0x10000, 4096);
         match ev {
-            CabEvent::SdmaDone { interrupt, token, .. } => {
+            CabEvent::SdmaDone {
+                interrupt, token, ..
+            } => {
                 assert!(interrupt);
                 assert_eq!(token, 7);
             }
@@ -814,7 +866,13 @@ mod tests {
                 &mut hm2,
             )
             .unwrap();
-        assert!(matches!(ev, CabEvent::SdmaDone { interrupt: true, .. }));
+        assert!(matches!(
+            ev,
+            CabEvent::SdmaDone {
+                interrupt: true,
+                ..
+            }
+        ));
         let mut original = vec![0u8; 8192];
         hm.read_user(task, 0x10000, &mut original).unwrap();
         let mut received = vec![0u8; 8192];

@@ -5,15 +5,19 @@
 //! the engine frees up and occupies it for a duration computed from the
 //! engine's setup and bandwidth model. The caller schedules the completion
 //! event at the returned time.
+//!
+//! The occupancy bookkeeping itself lives in [`outboard_sim::obs::BusyTracker`]
+//! so the same busy-fraction accounting feeds the metrics registry for every
+//! serialized resource in the workspace (DMA engines here, the host CPU in
+//! `outboard-host`).
 
+use outboard_sim::obs::BusyTracker;
 use outboard_sim::{Dur, Time};
 
 /// One DMA engine's occupancy timeline.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct EngineTimeline {
-    busy_until: Time,
-    /// Cumulative busy time.
-    pub total_busy: Dur,
+    timeline: BusyTracker,
     /// Requests processed.
     pub requests: u64,
     /// Payload bytes moved.
@@ -28,7 +32,7 @@ impl EngineTimeline {
 
     /// When the current backlog drains.
     pub fn busy_until(&self) -> Time {
-        self.busy_until
+        self.timeline.busy_until()
     }
 
     /// Occupy the engine for a transfer of `bytes` at `bps` with `setup`
@@ -39,22 +43,24 @@ impl EngineTimeline {
         } else {
             Dur::for_bytes_at_bps(bytes as u64, bps)
         };
-        let dur = setup + xfer;
-        let start = now.max(self.busy_until);
-        self.busy_until = start + dur;
-        self.total_busy += dur;
         self.requests += 1;
         self.bytes += bytes as u64;
-        self.busy_until
+        self.timeline.occupy(now, setup + xfer)
+    }
+
+    /// Cumulative busy time.
+    pub fn total_busy(&self) -> Dur {
+        self.timeline.total_busy()
     }
 
     /// Engine utilization over an elapsed interval.
     pub fn utilization(&self, elapsed: Dur) -> f64 {
-        if elapsed.is_zero() {
-            0.0
-        } else {
-            self.total_busy.as_secs_f64() / elapsed.as_secs_f64()
-        }
+        self.timeline.busy_fraction(elapsed)
+    }
+
+    /// The underlying occupancy tracker (for metrics publication).
+    pub fn tracker(&self) -> &BusyTracker {
+        &self.timeline
     }
 }
 
@@ -79,7 +85,7 @@ mod tests {
         let mut e = EngineTimeline::new();
         e.run(Time::ZERO, Dur::micros(10), 0, 1e6);
         e.run(Time(1_000_000), Dur::micros(10), 0, 1e6);
-        assert_eq!(e.total_busy, Dur::micros(20));
+        assert_eq!(e.total_busy(), Dur::micros(20));
         assert!((e.utilization(Dur::millis(2)) - 0.01).abs() < 1e-9);
     }
 }

@@ -68,6 +68,10 @@ pub struct HolResult {
     pub slots: u64,
     /// Packets delivered across all outputs.
     pub delivered: u64,
+    /// Input-slots where a node with backlog sent nothing (head-of-line
+    /// blocking or lost arbitration) — the waste the logical channels buy
+    /// back.
+    pub stalls: u64,
     /// Mean fraction of output capacity used (delivered / (nodes × slots)).
     pub utilization: f64,
 }
@@ -82,6 +86,8 @@ pub struct HolSim {
     queues: Vec<Vec<VecDeque<usize>>>,
     /// Queue depth maintained per node (backlog under saturation).
     depth: usize,
+    /// Cumulative input-slots stalled with backlog (see [`HolResult::stalls`]).
+    stalls: u64,
 }
 
 impl HolSim {
@@ -95,6 +101,7 @@ impl HolSim {
             mac,
             rng: Pcg32::new(seed),
             depth: 64,
+            stalls: 0,
         };
         sim.top_up();
         sim
@@ -123,6 +130,7 @@ impl HolSim {
     /// to it.
     pub fn run(&mut self, slots: u64) -> HolResult {
         let mut delivered = 0u64;
+        let stalls_before = self.stalls;
         for _ in 0..slots {
             delivered += self.one_slot();
             self.top_up();
@@ -130,8 +138,14 @@ impl HolSim {
         HolResult {
             slots,
             delivered,
+            stalls: self.stalls - stalls_before,
             utilization: delivered as f64 / (slots as f64 * self.n as f64),
         }
+    }
+
+    /// Cumulative stalled input-slots across every slot simulated so far.
+    pub fn total_stalls(&self) -> u64 {
+        self.stalls
     }
 
     /// One crossbar slot: collect offers (one per channel head), grant one
@@ -164,6 +178,12 @@ impl HolSim {
             let dst = self.queues[node][ch].pop_front().unwrap();
             debug_assert_eq!(dst, out);
             delivered += 1;
+        }
+        // An input that had backlog but moved nothing this slot stalled.
+        for (node, busy) in input_busy.iter().enumerate().take(self.n) {
+            if !busy && self.queues[node].iter().any(|q| !q.is_empty()) {
+                self.stalls += 1;
+            }
         }
         delivered
     }
@@ -288,6 +308,22 @@ mod tests {
         let a = HolSim::new(8, MacMode::Fifo, 99).run(500);
         let b = HolSim::new(8, MacMode::Fifo, 99).run(500);
         assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.stalls, b.stalls);
+    }
+
+    #[test]
+    fn fifo_stalls_more_than_logical_channels() {
+        let fifo = HolSim::new(16, MacMode::Fifo, 42).run(2000);
+        let lc = HolSim::new(16, MacMode::LogicalChannels { channels: 16 }, 42).run(2000);
+        // Under saturation every input always has backlog, so
+        // stalls + delivered == inputs × slots.
+        assert_eq!(fifo.stalls + fifo.delivered, 16 * 2000);
+        assert!(
+            fifo.stalls > lc.stalls * 2,
+            "HOL blocking should dominate FIFO stalls: {} vs {}",
+            fifo.stalls,
+            lc.stalls
+        );
     }
 }
 

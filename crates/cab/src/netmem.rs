@@ -36,6 +36,10 @@ pub struct NetworkMemory {
     page_size: usize,
     pages_total: usize,
     pages_free: usize,
+    pages_hwm: usize,
+    allocs: u64,
+    alloc_failures: u64,
+    frees: u64,
     packets: HashMap<PacketId, PacketBuf>,
     next_id: u64,
 }
@@ -48,6 +52,10 @@ impl NetworkMemory {
             page_size,
             pages_total: total_bytes / page_size,
             pages_free: total_bytes / page_size,
+            pages_hwm: 0,
+            allocs: 0,
+            alloc_failures: 0,
+            frees: 0,
             packets: HashMap::new(),
             next_id: 1,
         }
@@ -63,6 +71,26 @@ impl NetworkMemory {
         self.pages_total
     }
 
+    /// High-water mark of pages simultaneously in use.
+    pub fn pages_hwm(&self) -> usize {
+        self.pages_hwm
+    }
+
+    /// Successful allocations.
+    pub fn allocs(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Allocations refused for want of pages (excludes zero-length requests).
+    pub fn alloc_failures(&self) -> u64 {
+        self.alloc_failures
+    }
+
+    /// Buffers freed.
+    pub fn frees(&self) -> u64 {
+        self.frees
+    }
+
     /// Live packet buffers.
     pub fn packet_count(&self) -> usize {
         self.packets.len()
@@ -76,9 +104,12 @@ impl NetworkMemory {
         }
         let pages = len.div_ceil(self.page_size);
         if pages > self.pages_free {
+            self.alloc_failures += 1;
             return None;
         }
         self.pages_free -= pages;
+        self.pages_hwm = self.pages_hwm.max(self.pages_total - self.pages_free);
+        self.allocs += 1;
         let id = PacketId(self.next_id);
         self.next_id += 1;
         self.packets.insert(
@@ -99,6 +130,7 @@ impl NetworkMemory {
     pub fn free(&mut self, id: PacketId) -> bool {
         if let Some(p) = self.packets.remove(&id) {
             self.pages_free += p.pages;
+            self.frees += 1;
             true
         } else {
             false
@@ -177,5 +209,28 @@ mod tests {
     fn zero_length_alloc_rejected() {
         let mut nm = NetworkMemory::new(64 * 1024, 8 * 1024);
         assert!(nm.alloc(0).is_none());
+        assert_eq!(
+            nm.alloc_failures(),
+            0,
+            "zero-length is a caller bug, not pressure"
+        );
+    }
+
+    #[test]
+    fn occupancy_counters_track_pool_pressure() {
+        let mut nm = NetworkMemory::new(64 * 1024, 8 * 1024); // 8 pages
+        let a = nm.alloc(40 * 1024).unwrap(); // 5 pages
+        assert_eq!(nm.pages_hwm(), 5);
+        assert!(nm.free(a));
+        // HWM sticks after the pool drains.
+        assert_eq!(nm.pages_hwm(), 5);
+        let b = nm.alloc(8 * 1024 * 7).unwrap(); // 7 pages
+        assert_eq!(nm.pages_hwm(), 7);
+        assert!(nm.alloc(2 * 8 * 1024).is_none(), "only 1 page left");
+        assert_eq!(nm.allocs(), 2);
+        assert_eq!(nm.alloc_failures(), 1);
+        assert_eq!(nm.frees(), 1);
+        assert!(nm.free(b));
+        assert_eq!(nm.frees(), 2);
     }
 }

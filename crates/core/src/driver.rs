@@ -192,6 +192,14 @@ impl Iface {
             _ => None,
         }
     }
+
+    /// Shared view of the CAB driver state, when this interface is a CAB.
+    pub fn cab_ref(&self) -> Option<&CabIface> {
+        match &self.kind {
+            IfaceKind::Cab(c) => Some(c),
+            _ => None,
+        }
+    }
 }
 
 /// A parsed destination for in-kernel send APIs.

@@ -264,10 +264,20 @@ mod tests {
         let d2: Vec<u8> = (0..520u32).map(|i| (i + 7) as u8).collect();
         // Last fragment first.
         assert!(r
-            .feed(key(), &frag_hdr(1480, false, 520), Chain::from_slice(&d2), None)
+            .feed(
+                key(),
+                &frag_hdr(1480, false, 520),
+                Chain::from_slice(&d2),
+                None
+            )
             .is_none());
         let done = r
-            .feed(key(), &frag_hdr(0, true, 1480), Chain::from_slice(&d1), None)
+            .feed(
+                key(),
+                &frag_hdr(0, true, 1480),
+                Chain::from_slice(&d1),
+                None,
+            )
             .expect("complete");
         let flat = done.payload.flatten_kernel().unwrap();
         assert_eq!(&flat[..1480], &d1[..]);
@@ -313,7 +323,12 @@ mod tests {
         r.feed(key(), &frag_hdr(0, true, 800), Chain::from_slice(&d1), None);
         r.feed(key(), &frag_hdr(0, true, 800), Chain::from_slice(&d1), None);
         let done = r
-            .feed(key(), &frag_hdr(800, false, 8), Chain::from_slice(&[9; 8]), None)
+            .feed(
+                key(),
+                &frag_hdr(800, false, 8),
+                Chain::from_slice(&[9; 8]),
+                None,
+            )
             .unwrap();
         assert_eq!(done.payload.len(), 808);
     }

@@ -185,7 +185,9 @@ impl Kernel {
                 id: hdr.id,
             };
             // Per-fragment hardware partials combine across the datagram.
-            let frag_hw = rx.hw_csum.filter(|_| rx.outboard.is_some() || rx.hw_csum.is_some());
+            let frag_hw = rx
+                .hw_csum
+                .filter(|_| rx.outboard.is_some() || rx.hw_csum.is_some());
             if let Some(done) = self.reass.feed(key, &hdr, payload, frag_hw) {
                 self.dispatch_transport(
                     rx.iface,
@@ -465,7 +467,12 @@ impl Kernel {
                 self.ports
                     .get(&(Proto::Tcp, thdr.dst_port))
                     .copied()
-                    .filter(|s| self.sockets.get(s).map(|s| s.is_listener()).unwrap_or(false))
+                    .filter(|s| {
+                        self.sockets
+                            .get(s)
+                            .map(|s| s.is_listener())
+                            .unwrap_or(false)
+                    })
             });
         let Some(sock) = sock else {
             // No one listening: RST per RFC 793.
@@ -801,6 +808,7 @@ impl Kernel {
             return;
         };
         let from = SockAddr::new(src, uhdr.src_port);
+        self.stats.udp_datagrams_in += 1;
         let owner = self.sockets[&sock].owner;
         match owner {
             Owner::Kernel => self.deliver_to_kernel_queue(sock, payload, from, mem, now),
@@ -816,7 +824,10 @@ impl Kernel {
                     return;
                 }
                 self.deliver_data(sock, payload, Some(from));
-                let waker = self.sockets.get_mut(&sock).and_then(|s| s.waiting_reader.take());
+                let waker = self
+                    .sockets
+                    .get_mut(&sock)
+                    .and_then(|s| s.waiting_reader.take());
                 if let Some(w) = waker {
                     self.wake(w.task, sock, Charge::Interrupt);
                 }
@@ -910,7 +921,14 @@ impl Kernel {
     // ICMP (the resident in-kernel application)
     // ------------------------------------------------------------------
 
-    fn icmp_rx(&mut self, src: Ipv4Addr, dst: Ipv4Addr, payload: Chain, mem: &mut HostMem, now: Time) {
+    fn icmp_rx(
+        &mut self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        payload: Chain,
+        mem: &mut HostMem,
+        now: Time,
+    ) {
         // ICMP messages are small; flatten through the conversion layer.
         let flat = self.flatten_for_legacy(&payload, mem);
         self.discard_chain(payload);
@@ -969,7 +987,9 @@ impl Kernel {
             } => {
                 if let (Some(bytes_data), Some((task, vaddr))) = (&data, copy_dst) {
                     // §4.5 unaligned fallback: finish with a CPU copy.
-                    let cost = self.memsys.copy_cost(bytes_data.len(), bytes_data.len().max(4096));
+                    let cost = self
+                        .memsys
+                        .copy_cost(bytes_data.len(), bytes_data.len().max(4096));
                     self.cpu_dur(cost, Charge::Interrupt);
                     mem.write_user(task, vaddr, bytes_data)
                         .expect("user read buffer writable");

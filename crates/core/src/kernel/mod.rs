@@ -26,7 +26,7 @@ use crate::ip::Reassembler;
 use crate::route::RouteTable;
 use crate::sockbuf::UioCounters;
 use crate::socket::{BlockedRead, BlockedWrite, Owner, Socket, WaitingReader};
-use crate::tcp::{Tcb, TcpState};
+use crate::tcp::{Tcb, TcpState, TcpStats};
 use crate::types::{
     Effect, IfaceId, Proto, ReadResult, SockAddr, SockId, StackConfig, StackError, StackMode,
     WriteResult,
@@ -88,6 +88,14 @@ pub struct KernelStats {
     pub retransmit_header_only: u64,
     /// Retransmissions that rebuilt a full packet (partial/misaligned).
     pub retransmit_slow_path: u64,
+    /// TCP segments emitted (first transmissions and retransmissions).
+    pub tcp_segs_out: u64,
+    /// TCP segments emitted that were retransmissions.
+    pub tcp_retransmit_segs: u64,
+    /// UDP datagrams emitted.
+    pub udp_datagrams_out: u64,
+    /// UDP datagrams delivered to a socket.
+    pub udp_datagrams_in: u64,
 }
 
 /// Metadata accompanying a transmit packet down to the driver.
@@ -148,6 +156,9 @@ pub struct Kernel {
     pub(crate) kq_serial: u64,
     /// Protocol statistics.
     pub stats: KernelStats,
+    /// TCP counters folded in from torn-down connections (see
+    /// [`Kernel::tcp_stats`] for the live + closed aggregate).
+    pub(crate) tcp_closed: TcpStats,
     /// Mbuf allocation statistics.
     pub mbuf_stats: MbufStats,
     /// Mechanism-level event trace.
@@ -178,6 +189,7 @@ impl Kernel {
             iss: 10_000,
             kq_serial: 1,
             stats: KernelStats::default(),
+            tcp_closed: TcpStats::default(),
             mbuf_stats: MbufStats::default(),
             trace: Trace::new(16 * 1024),
         }
@@ -425,7 +437,10 @@ impl Kernel {
         listener: SockId,
         task: TaskId,
     ) -> Result<Option<SockId>, StackError> {
-        let s = self.sockets.get_mut(&listener).ok_or(StackError::BadSocket)?;
+        let s = self
+            .sockets
+            .get_mut(&listener)
+            .ok_or(StackError::BadSocket)?;
         if let Some(child) = s.accept_queue.pop_front() {
             s.acceptor = None;
             Ok(Some(child))
@@ -440,7 +455,11 @@ impl Kernel {
     /// negotiated from the buffer size on SYN).
     pub fn sys_setsockbuf(&mut self, sock: SockId, bytes: usize) -> Result<(), StackError> {
         let s = self.sockets.get_mut(&sock).ok_or(StackError::BadSocket)?;
-        if s.tcb.as_ref().map(|t| t.state.is_synchronized()).unwrap_or(false) {
+        if s.tcb
+            .as_ref()
+            .map(|t| t.state.is_synchronized())
+            .unwrap_or(false)
+        {
             return Err(StackError::InvalidState("buffers fixed after handshake"));
         }
         s.so_snd.hiwat = bytes;
@@ -751,8 +770,12 @@ impl Kernel {
                 let cost = self.memsys.copy_cost(chunk, bw.total.max(chunk));
                 self.cpu_dur(cost, charge);
                 let mut buf = vec![0u8; chunk];
-                mem.read_user(bw.region.task, bw.region.base + bw.appended as u64, &mut buf)
-                    .expect("user write buffer readable");
+                mem.read_user(
+                    bw.region.task,
+                    bw.region.base + bw.appended as u64,
+                    &mut buf,
+                )
+                .expect("user write buffer readable");
                 let m = Mbuf::kernel(Bytes::from(buf));
                 self.mbuf_stats.count(&m);
                 self.sockets.get_mut(&sock).unwrap().so_snd.chain.append(m);
@@ -1027,7 +1050,12 @@ impl Kernel {
     /// After an in-kernel consumer drains its queue, advertise the freed
     /// receive window (the socket layer does this implicitly for user
     /// reads; kernel consumers call it explicitly).
-    pub fn kernel_window_update(&mut self, sock: SockId, mem: &mut HostMem, now: Time) -> Vec<Effect> {
+    pub fn kernel_window_update(
+        &mut self,
+        sock: SockId,
+        mem: &mut HostMem,
+        now: Time,
+    ) -> Vec<Effect> {
         self.maybe_window_update(sock, mem, now);
         self.take_effects()
     }
@@ -1151,6 +1179,10 @@ impl Kernel {
         let Some(s) = self.sockets.remove(&sock) else {
             return;
         };
+        // Preserve the connection's netstat counters past its lifetime.
+        if let Some(tcb) = &s.tcb {
+            self.tcp_closed.absorb(tcb);
+        }
         if let Some(local) = s.local {
             self.ports.remove(&(s.proto, local.port));
             if let Some(remote) = s.remote {
@@ -1184,6 +1216,81 @@ impl Kernel {
         }
         if let Some(br) = s.blocked_read {
             self.uio.cancel(br.counter);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // observability
+    // ------------------------------------------------------------------
+
+    /// Netstat-style TCP counters: closed connections (folded on teardown)
+    /// plus every live control block.
+    pub fn tcp_stats(&self) -> TcpStats {
+        let mut agg = self.tcp_closed;
+        for s in self.sockets.values() {
+            if let Some(tcb) = &s.tcb {
+                agg.absorb(tcb);
+            }
+        }
+        agg
+    }
+
+    /// Publish this kernel's metrics into a registry scope: IP/TCP/UDP
+    /// protocol counters, checksum and mbuf-path accounting, VM activity,
+    /// and each CAB interface's engine/netmem state.
+    pub fn publish_metrics(&self, s: &mut outboard_sim::obs::Scope<'_>) {
+        let st = &self.stats;
+        s.counter("ip.tx_packets", st.tx_packets);
+        s.counter("ip.rx_packets", st.rx_packets);
+        s.counter("ip.tx_bytes", st.tx_bytes);
+        s.counter("ip.rx_bytes", st.rx_bytes);
+        s.counter("ip.errors", st.ip_errors);
+        s.counter("ip.frags_sent", st.frags_sent);
+        s.counter("ip.frags_reassembled", st.frags_reassembled);
+        s.counter("ip.no_socket_drops", st.no_socket_drops);
+        s.counter("ip.tx_nomem_drops", st.tx_nomem_drops);
+        s.counter("icmp.echo_replies", st.icmp_echo_replies);
+
+        let t = self.tcp_stats();
+        s.counter("tcp.segs_out", st.tcp_segs_out);
+        s.counter("tcp.segs_in", t.segs_in);
+        s.counter("tcp.retransmit_segs", st.tcp_retransmit_segs);
+        s.counter("tcp.retransmits", t.retransmits);
+        s.counter("tcp.fast_retransmits", t.fast_retransmits);
+        s.counter("tcp.rto_events", t.rto_events);
+        s.counter("tcp.dup_acks_rcvd", t.dup_acks_rcvd);
+        s.counter("tcp.delayed_acks", t.delayed_acks);
+        s.counter("tcp.window_stalls", t.window_stalls);
+        s.counter("tcp.bytes_sent", t.bytes_sent);
+        s.counter("tcp.bytes_retx", t.bytes_retx);
+        s.counter("tcp.retransmit_header_only", st.retransmit_header_only);
+        s.counter("tcp.retransmit_slow_path", st.retransmit_slow_path);
+        s.counter("tcp.rst_sent", st.rst_sent);
+        s.counter("udp.datagrams_out", st.udp_datagrams_out);
+        s.counter("udp.datagrams_in", st.udp_datagrams_in);
+
+        s.counter("csum.hw", st.hw_checksums);
+        s.counter("csum.sw", st.sw_checksums);
+        s.counter("csum.errors", st.csum_errors);
+        s.counter("csum.aligned_fallbacks", st.aligned_fallbacks);
+        s.counter("csum.align_splits", st.align_splits);
+
+        s.counter("mbuf.uio_to_wcab", st.uio_to_wcab);
+        s.counter("mbuf.uio_to_regular", st.uio_to_regular);
+        s.counter("mbuf.wcab_to_regular", st.wcab_to_regular);
+        s.counter("mbuf.small_allocs", self.mbuf_stats.small_allocs);
+        s.counter("mbuf.cluster_allocs", self.mbuf_stats.cluster_allocs);
+        s.counter("mbuf.uio_allocs", self.mbuf_stats.uio_allocs);
+        s.counter("mbuf.wcab_allocs", self.mbuf_stats.wcab_allocs);
+
+        s.counter("trace.events_evicted", self.trace.dropped());
+
+        self.vm.publish_metrics(&mut s.sub("vm"));
+        for iface in &self.ifaces {
+            if let Some(ci) = iface.cab_ref() {
+                ci.cab
+                    .publish_metrics(&mut s.sub(&format!("cab{}", iface.id.0)));
+            }
         }
     }
 }

@@ -73,7 +73,9 @@ impl Kernel {
             // free right after MDMA.
             free_after_mdma: plan.data_len == 0 || !data.has_uio(),
         };
+        self.stats.tcp_segs_out += 1;
         if plan.retransmit {
+            self.stats.tcp_retransmit_segs += 1;
             self.trace.record(
                 now,
                 "tcp",
@@ -202,8 +204,7 @@ impl Kernel {
             // the host-owned partial sum; the CAB covers the data.
             thdr[csum_offset] = 0;
             thdr[csum_offset + 1] = 0;
-            let seed =
-                crate::udp::transport_seed(src, dst, ip_proto, transport_len, &thdr);
+            let seed = crate::udp::transport_seed(src, dst, ip_proto, transport_len, &thdr);
             thdr[csum_offset..csum_offset + 2].copy_from_slice(&seed.to_be_bytes());
             self.stats.hw_checksums += 1;
             Some(CsumPlan {
@@ -256,12 +257,7 @@ impl Kernel {
     /// delayed"), the send queue's `M_UIO` range becomes regular data, and
     /// the write's UIO counter is credited — exactly what the `M_WCAB`
     /// conversion does on the CAB path, with a memory copy in place of DMA.
-    fn legacy_convert_uio(
-        &mut self,
-        meta: &TxMeta,
-        data: Chain,
-        mem: &HostMem,
-    ) -> Chain {
+    fn legacy_convert_uio(&mut self, meta: &TxMeta, data: Chain, mem: &HostMem) -> Chain {
         use outboard_host::UserMemory;
         let uio_bytes: usize = data
             .iter()
@@ -313,8 +309,8 @@ impl Kernel {
                         (0usize, seq::diff(meta.seq_lo, base) as usize)
                     };
                     if skip_front < data_len {
-                        let len =
-                            (data_len - skip_front).min(s.so_snd.chain.len().saturating_sub(off_in_q));
+                        let len = (data_len - skip_front)
+                            .min(s.so_snd.chain.len().saturating_sub(off_in_q));
                         if len > 0 {
                             rewrote_queue = true;
                             let flat: Vec<u8> = {
@@ -817,6 +813,7 @@ impl Kernel {
             data = Chain::from_slice(&flat);
         }
         let hdr = UdpHeader::new(local.port, remote.port, data.len());
+        self.stats.udp_datagrams_out += 1;
         let meta = TxMeta {
             sock: Some(sock),
             seq_lo: 0,
@@ -847,11 +844,19 @@ impl Kernel {
         mem: &mut HostMem,
         now: Time,
     ) -> Vec<Effect> {
-        let chain =
-            crate::ip::icmp::build_echo(crate::ip::icmp::ECHO_REQUEST, ident, seq, payload);
+        let chain = crate::ip::icmp::build_echo(crate::ip::icmp::ECHO_REQUEST, ident, seq, payload);
         if let Some(iface_id) = self.routes.lookup(dst) {
             let src = self.ifaces[iface_id.0 as usize].ip;
-            self.ip_output(src, dst, proto::ICMP, chain, iface_id, TxMeta::plain(), mem, now);
+            self.ip_output(
+                src,
+                dst,
+                proto::ICMP,
+                chain,
+                iface_id,
+                TxMeta::plain(),
+                mem,
+                now,
+            );
         }
         self.take_effects()
     }
@@ -873,6 +878,15 @@ impl Kernel {
         let Some(iface_id) = self.routes.lookup(dst) else {
             return;
         };
-        self.ip_output(src, dst, proto::ICMP, chain, iface_id, TxMeta::plain(), mem, now);
+        self.ip_output(
+            src,
+            dst,
+            proto::ICMP,
+            chain,
+            iface_id,
+            TxMeta::plain(),
+            mem,
+            now,
+        );
     }
 }

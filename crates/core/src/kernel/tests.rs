@@ -196,7 +196,9 @@ fn loopback_udp_datagram() {
     let cli = rig.k.sys_socket(Proto::Udp);
     rig.k.sys_connect_udp(cli, SockAddr::new(LO, 9000)).unwrap();
     rig.mem.create_region(TaskId(1), 0x1000, 4096);
-    rig.mem.write_user(TaskId(1), 0x1000, b"hello dgram").unwrap();
+    rig.mem
+        .write_user(TaskId(1), 0x1000, b"hello dgram")
+        .unwrap();
     let (r, fx) = rig
         .k
         .sys_write(cli, TaskId(1), 0x1000, 11, &mut rig.mem, rig.now)
@@ -270,9 +272,7 @@ fn syn_to_closed_port_gets_rst() {
     assert!(rig.k.stats.rst_sent > 0, "no RST for refused connection");
     // The connecting socket collapsed back to Closed.
     let s = rig.k.socket_ref(c);
-    assert!(
-        s.is_none() || s.unwrap().tcb.as_ref().unwrap().state == crate::tcp::TcpState::Closed
-    );
+    assert!(s.is_none() || s.unwrap().tcb.as_ref().unwrap().state == crate::tcp::TcpState::Closed);
 }
 
 #[test]
@@ -389,7 +389,15 @@ fn sendto_recvfrom_unconnected_udp() {
     let t = rig.k.sys_socket(Proto::Tcp);
     assert!(matches!(
         rig.k
-            .sys_sendto(t, TaskId(1), 0x1000, 4, SockAddr::new(LO, 9000), &mut rig.mem, rig.now)
+            .sys_sendto(
+                t,
+                TaskId(1),
+                0x1000,
+                4,
+                SockAddr::new(LO, 9000),
+                &mut rig.mem,
+                rig.now
+            )
             .unwrap_err(),
         StackError::InvalidState(_)
     ));

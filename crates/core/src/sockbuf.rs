@@ -143,9 +143,11 @@ mod tests {
     fn sockbuf_space() {
         let mut sb = SockBuf::new(100);
         assert_eq!(sb.space(), 100);
-        sb.chain.append(outboard_mbuf::Mbuf::kernel_copy(&[0u8; 60]));
+        sb.chain
+            .append(outboard_mbuf::Mbuf::kernel_copy(&[0u8; 60]));
         assert_eq!(sb.space(), 40);
-        sb.chain.append(outboard_mbuf::Mbuf::kernel_copy(&[0u8; 60]));
+        sb.chain
+            .append(outboard_mbuf::Mbuf::kernel_copy(&[0u8; 60]));
         assert_eq!(sb.space(), 0, "space saturates below zero");
         assert_eq!(sb.len(), 120);
     }

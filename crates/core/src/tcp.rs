@@ -41,7 +41,10 @@ impl TcpState {
 
     /// Has the connection finished the handshake?
     pub fn is_synchronized(self) -> bool {
-        !matches!(self, TcpState::Closed | TcpState::Listen | TcpState::SynSent)
+        !matches!(
+            self,
+            TcpState::Closed | TcpState::Listen | TcpState::SynSent
+        )
     }
 }
 
@@ -185,6 +188,19 @@ pub struct Tcb {
     pub fast_retransmits: u64,
     /// Retransmission timeouts taken.
     pub rto_events: u64,
+    /// Segments delivered to this connection's input processing.
+    pub segs_in: u64,
+    /// Duplicate ACKs received.
+    pub dup_acks_rcvd: u64,
+    /// Times output stalled with data queued but zero usable send window.
+    pub window_stalls: u64,
+    /// Payload bytes placed on the wire (first transmissions and
+    /// retransmissions both count; FIN sequence slots do not).
+    pub bytes_sent: u64,
+    /// Payload bytes re-sent (already covered by an earlier transmission).
+    pub bytes_retx: u64,
+    /// ACKs released by the delayed-ACK timer.
+    pub delayed_acks: u64,
     cfg_delack_every: u32,
     cfg_rto_initial: Dur,
     cfg_rto_min: Dur,
@@ -233,6 +249,12 @@ impl Tcb {
             retransmits: 0,
             fast_retransmits: 0,
             rto_events: 0,
+            segs_in: 0,
+            dup_acks_rcvd: 0,
+            window_stalls: 0,
+            bytes_sent: 0,
+            bytes_retx: 0,
+            delayed_acks: 0,
             cfg_delack_every: cfg.delack_every,
             cfg_rto_initial: cfg.rto_initial,
             cfg_rto_min: cfg.rto_min,
@@ -382,6 +404,11 @@ impl Tcb {
                 && !send_fin
                 && avail == len; // only the tail sub-MSS piece is held
             if len == 0 || nagle_blocks {
+                // Data is queued but the (scaled, congestion-clamped) window
+                // has no room: a sender-side window stall.
+                if len == 0 && avail > 0 && usable == 0 {
+                    self.window_stalls += 1;
+                }
                 // Maybe a pure FIN still needs to go.
                 if self.fin_pending && !self.fin_sent && avail == 0 {
                     plans.push(SegmentPlan {
@@ -424,7 +451,12 @@ impl Tcb {
             });
             if retransmit {
                 self.retransmits += 1;
+                // Bytes below snd_max are re-sent; a segment straddling
+                // snd_max (or carrying the FIN slot) is only partially old.
+                let old = (seq::diff(self.snd_max, self.snd_nxt) as usize).min(len);
+                self.bytes_retx += old as u64;
             }
+            self.bytes_sent += len as u64;
             // RTT sampling: time one segment per window (Karn: never a
             // retransmitted one).
             if self.rtt_seq.is_none() && !retransmit {
@@ -465,16 +497,16 @@ impl Tcb {
 
     /// Should the retransmission timer be (re)armed after output/input?
     pub fn wants_rexmt_timer(&self) -> bool {
-        seq::lt(self.snd_una, self.snd_max) && !matches!(self.state, TcpState::TimeWait | TcpState::Closed)
+        seq::lt(self.snd_una, self.snd_max)
+            && !matches!(self.state, TcpState::TimeWait | TcpState::Closed)
     }
 
     /// Retransmission timer fired: shrink to one segment and go again.
     pub fn on_rexmt_timeout(&mut self) {
         self.rto_events += 1;
         self.rexmt_backoff = (self.rexmt_backoff + 1).min(12);
-        self.rto = Dur::nanos(
-            (self.rto.as_nanos().saturating_mul(2)).min(Dur::secs(64).as_nanos()),
-        );
+        self.rto =
+            Dur::nanos((self.rto.as_nanos().saturating_mul(2)).min(Dur::secs(64).as_nanos()));
         // Reno: collapse cwnd, halve ssthresh.
         let flight = self.flight_size().max(self.mss);
         self.ssthresh = (flight / 2).max(2 * self.mss);
@@ -513,8 +545,15 @@ impl Tcb {
     /// Process one inbound segment. `data` is the payload (already trimmed
     /// to the header's claims by the caller); the TCB trims it further to
     /// the receive window and handles reassembly.
-    pub fn input(&mut self, hdr: &TcpHeader, mut data: Chain, rcv_space: usize, now: Time) -> InputResult {
+    pub fn input(
+        &mut self,
+        hdr: &TcpHeader,
+        mut data: Chain,
+        rcv_space: usize,
+        now: Time,
+    ) -> InputResult {
         let mut r = InputResult::default();
+        self.segs_in += 1;
         let orig_data_len = data.len() as u32;
 
         match self.state {
@@ -626,16 +665,14 @@ impl Tcb {
         }
 
         // Segment acceptability (RFC 793 p.69, simplified window check).
-        let seg_len = data.len() as u32
-            + u32::from(hdr.flags.syn())
-            + u32::from(hdr.flags.fin());
+        let seg_len = data.len() as u32 + u32::from(hdr.flags.syn()) + u32::from(hdr.flags.fin());
         let rcv_wnd = rcv_space as u32;
         let acceptable = if seg_len == 0 && rcv_wnd == 0 {
             hdr.seq == self.rcv_nxt
         } else if seg_len == 0 {
             seq::geq(hdr.seq, self.rcv_nxt.wrapping_sub(1))
                 && seq::lt(hdr.seq, self.rcv_nxt.wrapping_add(rcv_wnd))
-            || hdr.seq == self.rcv_nxt
+                || hdr.seq == self.rcv_nxt
         } else {
             // Any overlap with the window.
             let seg_end = hdr.seq.wrapping_add(seg_len);
@@ -730,6 +767,7 @@ impl Tcb {
             {
                 // Duplicate ACK.
                 self.dupacks += 1;
+                self.dup_acks_rcvd += 1;
                 if self.dupacks == 3 {
                     // Fast retransmit.
                     self.fast_retransmits += 1;
@@ -756,7 +794,12 @@ impl Tcb {
         }
 
         // Payload processing.
-        if !data.is_empty() && matches!(self.state, TcpState::Established | TcpState::FinWait1 | TcpState::FinWait2) {
+        if !data.is_empty()
+            && matches!(
+                self.state,
+                TcpState::Established | TcpState::FinWait1 | TcpState::FinWait2
+            )
+        {
             let mut seg_seq = hdr.seq;
             // Trim data already received.
             if seq::lt(seg_seq, self.rcv_nxt) {
@@ -858,7 +901,65 @@ impl Tcb {
 
     /// Pull the delayed-ACK flag (delack timer fired).
     pub fn take_delack(&mut self) -> bool {
-        std::mem::take(&mut self.delack_pending)
+        let fired = std::mem::take(&mut self.delack_pending);
+        if fired {
+            self.delayed_acks += 1;
+        }
+        fired
+    }
+}
+
+/// Netstat-style aggregate of per-connection TCP counters. The kernel folds
+/// a connection's counters in here on socket teardown and sums the live
+/// control blocks on demand, so reports survive connection close.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TcpStats {
+    /// Segments delivered to connection input processing.
+    pub segs_in: u64,
+    /// Segments retransmitted.
+    pub retransmits: u64,
+    /// Fast-retransmit events (3 duplicate ACKs).
+    pub fast_retransmits: u64,
+    /// Retransmission timeouts taken.
+    pub rto_events: u64,
+    /// Duplicate ACKs received.
+    pub dup_acks_rcvd: u64,
+    /// Sender stalls on a zero usable window.
+    pub window_stalls: u64,
+    /// Payload bytes placed on the wire.
+    pub bytes_sent: u64,
+    /// Payload bytes re-sent.
+    pub bytes_retx: u64,
+    /// ACKs released by the delayed-ACK timer.
+    pub delayed_acks: u64,
+}
+
+impl TcpStats {
+    /// Fold one control block's counters into this aggregate.
+    pub fn absorb(&mut self, tcb: &Tcb) {
+        self.segs_in += tcb.segs_in;
+        self.retransmits += tcb.retransmits;
+        self.fast_retransmits += tcb.fast_retransmits;
+        self.rto_events += tcb.rto_events;
+        self.dup_acks_rcvd += tcb.dup_acks_rcvd;
+        self.window_stalls += tcb.window_stalls;
+        self.bytes_sent += tcb.bytes_sent;
+        self.bytes_retx += tcb.bytes_retx;
+        self.delayed_acks += tcb.delayed_acks;
+    }
+
+    /// Elementwise sum of two aggregates.
+    pub fn merged(mut self, other: TcpStats) -> TcpStats {
+        self.segs_in += other.segs_in;
+        self.retransmits += other.retransmits;
+        self.fast_retransmits += other.fast_retransmits;
+        self.rto_events += other.rto_events;
+        self.dup_acks_rcvd += other.dup_acks_rcvd;
+        self.window_stalls += other.window_stalls;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_retx += other.bytes_retx;
+        self.delayed_acks += other.delayed_acks;
+        self
     }
 }
 
@@ -1201,7 +1302,10 @@ mod tests {
             vec![AckMode::Delayed, AckMode::Now, AckMode::Delayed],
             "BSD acks every 2nd in-order segment"
         );
-        assert!(b.tcb.delack_pending, "third segment leaves a pending delack");
+        assert!(
+            b.tcb.delack_pending,
+            "third segment leaves a pending delack"
+        );
         assert!(b.tcb.take_delack());
         assert!(!b.tcb.delack_pending);
     }
@@ -1385,7 +1489,7 @@ mod edge_tests {
         };
         b.input(&syn, Chain::new(), BUF, Time::ZERO);
         b.output(0, BUF, false, Time::ZERO); // SYN|ACK out
-        // Complete handshake.
+                                             // Complete handshake.
         b.input(
             &hdr(5001, b.snd_nxt, TcpFlags::ACK, 1000),
             Chain::new(),
@@ -1409,13 +1513,28 @@ mod edge_tests {
         syn.mss = Some(1460);
         b.input(&syn, Chain::new(), BUF, Time::ZERO);
         b.output(0, BUF, false, Time::ZERO);
-        b.input(&hdr(5001, b.snd_nxt, TcpFlags::ACK, 1000), Chain::new(), BUF, Time::ZERO);
+        b.input(
+            &hdr(5001, b.snd_nxt, TcpFlags::ACK, 1000),
+            Chain::new(),
+            BUF,
+            Time::ZERO,
+        );
         // Peer sends FIN.
-        let r = b.input(&hdr(5001, b.snd_nxt, TcpFlags::FIN | TcpFlags::ACK, 1000), Chain::new(), BUF, Time::ZERO);
+        let r = b.input(
+            &hdr(5001, b.snd_nxt, TcpFlags::FIN | TcpFlags::ACK, 1000),
+            Chain::new(),
+            BUF,
+            Time::ZERO,
+        );
         assert!(r.fin_reached);
         assert_eq!(b.state, TcpState::CloseWait);
         // Late data beyond the FIN: not deliverable.
-        let r = b.input(&hdr(5002, b.snd_nxt, TcpFlags::ACK, 1000), Chain::from_slice(&[1, 2, 3]), BUF, Time::ZERO);
+        let r = b.input(
+            &hdr(5002, b.snd_nxt, TcpFlags::ACK, 1000),
+            Chain::from_slice(&[1, 2, 3]),
+            BUF,
+            Time::ZERO,
+        );
         assert!(r.deliver.is_empty(), "no data after FIN");
     }
 }

@@ -32,7 +32,13 @@ pub fn transport_seed(
 /// `hw_sum` covers transport header + payload (the receive engine starts at
 /// the fixed word offset past the framing and IP headers). Valid iff
 /// folding in the pseudo-header yields all-ones.
-pub fn verify_hw(src: Ipv4Addr, dst: Ipv4Addr, proto: u8, transport_len: usize, hw_sum: u16) -> bool {
+pub fn verify_hw(
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    proto: u8,
+    transport_len: usize,
+    hw_sum: u16,
+) -> bool {
     let pseudo = pseudo_header_sum(src.octets(), dst.octets(), proto, transport_len as u16);
     let mut acc = Accumulator::from_partial(pseudo);
     acc.add_partial(hw_sum);

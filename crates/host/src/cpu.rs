@@ -23,6 +23,7 @@
 //!   (ttcp_user + ttcp_sys + util_sys + util_user).
 
 use crate::config::MachineConfig;
+use outboard_sim::obs::Scope;
 use outboard_sim::{Dur, Time};
 
 /// Which bucket a piece of CPU work is charged to.
@@ -47,6 +48,10 @@ pub struct CpuAccounting {
     pub ttcp_sys: Dur,
     /// Interrupt work that landed while ttcp was off the CPU.
     pub util_sys: Dur,
+    /// All interrupt-level work, regardless of which process it was charged
+    /// to (the quantity the paper's artifact obscures — kept separately so
+    /// reports can show the true interrupt share).
+    pub intr: Dur,
     /// Total CPU-busy time (all charges).
     pub busy: Dur,
 }
@@ -122,6 +127,7 @@ impl Cpu {
             Charge::TtcpUser => self.acct.ttcp_user += dur,
             Charge::Syscall => self.acct.ttcp_sys += dur,
             Charge::Interrupt => {
+                self.acct.intr += dur;
                 if self.ttcp_on_cpu {
                     self.acct.ttcp_sys += dur;
                 } else {
@@ -141,6 +147,34 @@ impl Cpu {
     /// Reset accounting (start of the measured interval).
     pub fn reset_accounting(&mut self) {
         self.acct = CpuAccounting::default();
+    }
+
+    /// Publish the §7.1 CPU time split into a registry scope: user, system
+    /// (syscall-path kernel time), and interrupt shares of the scope's
+    /// elapsed window, plus the raw nanosecond buckets.
+    pub fn publish_metrics(&self, s: &mut Scope<'_>) {
+        let elapsed = s.elapsed();
+        let share = |d: Dur| {
+            if elapsed.is_zero() {
+                0.0
+            } else {
+                d.as_secs_f64() / elapsed.as_secs_f64()
+            }
+        };
+        let a = &self.acct;
+        // Syscall-path kernel time = everything that is neither user-mode
+        // nor interrupt-level (interrupt charges land in ttcp_sys/util_sys
+        // too, so busy - user - intr isolates the true syscall component).
+        let sys = a.busy.saturating_sub(a.ttcp_user).saturating_sub(a.intr);
+        s.frac("user_share", share(a.ttcp_user));
+        s.frac("sys_share", share(sys));
+        s.frac("intr_share", share(a.intr));
+        s.frac("busy_frac", share(a.busy));
+        s.counter("ttcp_user_ns", a.ttcp_user.as_nanos());
+        s.counter("ttcp_sys_ns", a.ttcp_sys.as_nanos());
+        s.counter("util_sys_ns", a.util_sys.as_nanos());
+        s.counter("intr_ns", a.intr.as_nanos());
+        s.counter("busy_ns", a.busy.as_nanos());
     }
 }
 

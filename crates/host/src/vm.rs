@@ -15,6 +15,7 @@
 
 use crate::config::MachineConfig;
 use crate::TaskId;
+use outboard_sim::obs::Scope;
 use outboard_sim::Dur;
 use std::collections::{HashMap, VecDeque};
 
@@ -140,7 +141,8 @@ impl VmSystem {
                     hits += 1;
                 }
                 None => {
-                    self.pages.insert((task, vpn), PageState::Active { refs: 1 });
+                    self.pages
+                        .insert((task, vpn), PageState::Active { refs: 1 });
                     new_pages += 1;
                 }
             }
@@ -214,6 +216,30 @@ impl VmSystem {
         }
     }
 
+    /// Publish VM activity into a registry scope: pin/unpin/map call and
+    /// page counts, the pinned-page cache hit rate (hits per page-prepare,
+    /// the §4.4.1 reuse payoff), and current pinned pages against the limit.
+    pub fn publish_metrics(&self, s: &mut Scope<'_>) {
+        let st = &self.stats;
+        s.counter("pin_calls", st.pin_calls);
+        s.counter("pages_pinned", st.pages_pinned);
+        s.counter("unpin_calls", st.unpin_calls);
+        s.counter("pages_unpinned", st.pages_unpinned);
+        s.counter("map_calls", st.map_calls);
+        s.counter("pages_mapped", st.pages_mapped);
+        s.counter("cache_hits", st.cache_hits);
+        s.counter("evictions", st.evictions);
+        let prepared = st.pages_pinned + st.cache_hits;
+        let hit_rate = if prepared == 0 {
+            0.0
+        } else {
+            st.cache_hits as f64 / prepared as f64
+        };
+        s.frac("cache_hit_rate", hit_rate);
+        s.counter("pinned_pages", self.pinned_page_count() as u64);
+        s.counter("pinned_page_limit", self.page_limit() as u64);
+    }
+
     /// Forget all pinned pages for a task (process exit).
     pub fn release_task(&mut self, task: TaskId) -> Dur {
         let before = self.pages.len();
@@ -271,7 +297,10 @@ mod tests {
         let first = v.prepare(t, 0, 32 * 1024);
         assert_eq!(v.release(t, 0, 32 * 1024), Dur::ZERO, "lazy release free");
         let second = v.prepare(t, 0, 32 * 1024);
-        assert!(second < first / 10, "cache hit {second:?} vs cold {first:?}");
+        assert!(
+            second < first / 10,
+            "cache hit {second:?} vs cold {first:?}"
+        );
         assert_eq!(v.stats().cache_hits, 4);
         assert_eq!(v.stats().pages_unpinned, 0);
     }
@@ -322,7 +351,10 @@ mod tests {
         v.prepare(t, 0, 32 * 1024);
         assert_eq!(v.pinned_page_count(), 4, "limit cannot evict active pages");
         v.release(t, 0, 32 * 1024);
-        assert!(v.pinned_page_count() <= 2, "released pages trimmed to limit");
+        assert!(
+            v.pinned_page_count() <= 2,
+            "released pages trimmed to limit"
+        );
     }
 
     #[test]

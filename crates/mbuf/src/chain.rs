@@ -127,7 +127,11 @@ impl Chain {
     /// packet header on the *returned* front — BSD `m_split` semantics for
     /// packetization). The remainder keeps a cleared header.
     pub fn split_front(&mut self, n: usize) -> Chain {
-        assert!(n <= self.len, "split_front({n}) beyond chain len {}", self.len);
+        assert!(
+            n <= self.len,
+            "split_front({n}) beyond chain len {}",
+            self.len
+        );
         let mut front = Chain {
             hdr: std::mem::take(&mut self.hdr),
             ..Chain::new()

@@ -193,7 +193,11 @@ impl Mbuf {
     ///
     /// Panics if `at > len`.
     pub fn split_front(&mut self, at: usize) -> Mbuf {
-        assert!(at <= self.len(), "split_front({at}) beyond len {}", self.len());
+        assert!(
+            at <= self.len(),
+            "split_front({at}) beyond len {}",
+            self.len()
+        );
         match &mut self.data {
             MbufData::Kernel(b) => Mbuf::kernel(b.split_to(at)),
             MbufData::Uio(d) => {

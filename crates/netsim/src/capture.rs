@@ -10,9 +10,9 @@ use outboard_sim::Time;
 use outboard_wire::ether::{EtherHeader, ETHER_HEADER_LEN};
 use outboard_wire::hippi::{HippiHeader, HIPPI_HEADER_LEN};
 use outboard_wire::ipv4::Ipv4Header;
+use outboard_wire::proto;
 use outboard_wire::tcp::TcpHeader;
 use outboard_wire::udp::UdpHeader;
-use outboard_wire::proto;
 
 /// Which framing a captured frame uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -185,7 +185,10 @@ mod tests {
         let dump = cap.dump();
         assert!(dump.contains("HIPPI[1->2 ch3]"), "{dump}");
         assert!(dump.contains("10.0.0.1 > 10.0.0.2"), "{dump}");
-        assert!(dump.contains("TCP 5001->80 [AP] seq 1000 ack 2000"), "{dump}");
+        assert!(
+            dump.contains("TCP 5001->80 [AP] seq 1000 ack 2000"),
+            "{dump}"
+        );
         assert!(dump.contains("len 100"), "{dump}");
     }
 

@@ -5,8 +5,9 @@
 //! or passes them through with latency only (the HIPPI case — the CAB's
 //! MDMA engine is the pacer, so re-serializing here would double-count).
 
-use crate::fault::{FaultInjector, Fate};
+use crate::fault::{Fate, FaultInjector};
 use bytes::Bytes;
+use outboard_sim::obs::Scope;
 use outboard_sim::{Dur, Time};
 
 /// A scheduled arrival at the far end of a link.
@@ -30,6 +31,8 @@ pub struct Link {
     pub faults: FaultInjector,
     /// Frames offered to this link.
     pub frames_in: u64,
+    /// Payload bytes offered to this link (before faults).
+    pub bytes_in: u64,
     /// Frames that reached the far end (incl. duplicates).
     pub frames_delivered: u64,
     /// Payload bytes delivered.
@@ -45,6 +48,7 @@ impl Link {
             busy_until: Time::ZERO,
             faults: FaultInjector::none(seed),
             frames_in: 0,
+            bytes_in: 0,
             frames_delivered: 0,
             bytes_delivered: 0,
         }
@@ -58,6 +62,7 @@ impl Link {
             busy_until: Time::ZERO,
             faults: FaultInjector::none(seed),
             frames_in: 0,
+            bytes_in: 0,
             frames_delivered: 0,
             bytes_delivered: 0,
         }
@@ -67,6 +72,7 @@ impl Link {
     /// deliveries for the far end.
     pub fn transmit(&mut self, payload: Bytes, now: Time) -> Vec<Delivery> {
         self.frames_in += 1;
+        self.bytes_in += payload.len() as u64;
         let fate = self.faults.fate(payload);
         let Fate::Deliver {
             payload,
@@ -100,6 +106,21 @@ impl Link {
             });
         }
         out
+    }
+
+    /// Publish link traffic and fault-injection counters into a registry
+    /// scope.
+    pub fn publish_metrics(&self, s: &mut Scope<'_>) {
+        s.counter("frames_in", self.frames_in);
+        s.counter("bytes_in", self.bytes_in);
+        s.counter("frames_delivered", self.frames_delivered);
+        s.counter("bytes_delivered", self.bytes_delivered);
+        let f = &self.faults.stats;
+        s.counter("faults.offered", f.offered);
+        s.counter("faults.dropped", f.dropped);
+        s.counter("faults.corrupted", f.corrupted);
+        s.counter("faults.reordered", f.reordered);
+        s.counter("faults.duplicated", f.duplicated);
     }
 }
 
@@ -150,5 +171,16 @@ mod tests {
         l.transmit(Bytes::from(vec![0u8; 200]), Time::ZERO);
         assert_eq!(l.frames_delivered, 2);
         assert_eq!(l.bytes_delivered, 300);
+        assert_eq!(l.bytes_in, 300);
+    }
+
+    #[test]
+    fn bytes_in_counts_dropped_frames_too() {
+        let mut l = Link::hippi(Dur::ZERO, 1);
+        l.faults.force_drop_next(1);
+        l.transmit(Bytes::from(vec![0u8; 64]), Time::ZERO);
+        l.transmit(Bytes::from(vec![0u8; 36]), Time::ZERO);
+        assert_eq!(l.bytes_in, 100);
+        assert_eq!(l.bytes_delivered, 36);
     }
 }

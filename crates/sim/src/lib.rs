@@ -13,16 +13,20 @@
 //!   versions),
 //! * [`stats`] — counters, running means, histograms, and the least-squares
 //!   fit used to regenerate Table 2,
-//! * [`trace`] — a bounded in-memory event trace for debugging experiments.
+//! * [`trace`] — a bounded in-memory event trace for debugging experiments,
+//! * [`obs`] — the workspace-wide metrics registry (busy fractions, queue
+//!   high-water marks, netstat-style counters) behind every run report.
 
 #![warn(missing_docs)]
 
+pub mod obs;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use obs::{BusyTracker, Metric, MetricsRegistry};
 pub use queue::EventQueue;
 pub use rng::Pcg32;
 pub use time::{Dur, Time};

@@ -39,6 +39,7 @@ pub struct Trace {
     capacity: usize,
     enabled: bool,
     dropped: u64,
+    allowed_kinds: Option<Vec<&'static str>>,
 }
 
 impl Default for Trace {
@@ -56,6 +57,7 @@ impl Trace {
             capacity,
             enabled: true,
             dropped: 0,
+            allowed_kinds: None,
         }
     }
 
@@ -76,10 +78,25 @@ impl Trace {
         self.enabled
     }
 
-    /// Record one event (dropped silently when disabled; evicts the oldest when full).
+    /// Restrict recording to the given event kinds. Events of other kinds are
+    /// ignored entirely (they neither occupy ring slots nor count as
+    /// dropped), which keeps a long run's interesting kinds — say
+    /// `"retransmit"` — from being evicted by chatty ones. `None` (the
+    /// default) records every kind.
+    pub fn set_allowed_kinds(&mut self, kinds: Option<Vec<&'static str>>) {
+        self.allowed_kinds = kinds;
+    }
+
+    /// Record one event (dropped silently when disabled or filtered out by
+    /// the kind allowlist; evicts the oldest when full).
     pub fn record(&mut self, at: Time, source: &'static str, kind: &'static str, detail: String) {
         if !self.enabled {
             return;
+        }
+        if let Some(allowed) = &self.allowed_kinds {
+            if !allowed.contains(&kind) {
+                return;
+            }
         }
         if self.ring.len() == self.capacity {
             self.ring.pop_front();
@@ -123,6 +140,11 @@ impl Trace {
         self.ring.iter().filter(|e| e.kind == kind).count()
     }
 
+    /// All events from a given source, oldest first.
+    pub fn of_source<'a>(&'a self, source: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.ring.iter().filter(move |e| e.source == source)
+    }
+
     /// Discard all events and reset the drop counter.
     pub fn clear(&mut self) {
         self.ring.clear();
@@ -133,6 +155,23 @@ impl Trace {
     pub fn dump(&self) -> String {
         let mut out = String::new();
         for e in &self.ring {
+            out.push_str(&format!("{e}\n"));
+        }
+        out
+    }
+
+    /// Render only the newest `n` events — bounded output for post-mortems
+    /// on long runs where `dump()` would be megabytes.
+    pub fn dump_tail(&self, n: usize) -> String {
+        let skip = self.ring.len().saturating_sub(n);
+        let mut out = String::new();
+        if skip > 0 || self.dropped > 0 {
+            out.push_str(&format!(
+                "... ({} earlier events omitted, {} evicted)\n",
+                skip, self.dropped
+            ));
+        }
+        for e in self.ring.iter().skip(skip) {
             out.push_str(&format!("{e}\n"));
         }
         out
@@ -183,5 +222,47 @@ mod tests {
         t.record(Time(1_000), "tcp", "k", "hello".into());
         let s = t.dump();
         assert!(s.contains("tcp k: hello"));
+    }
+
+    #[test]
+    fn of_source_filters() {
+        let mut t = Trace::new(10);
+        t.record(Time(1), "tcp", "retransmit", "a".into());
+        t.record(Time(2), "cab0.sdma", "sdma_start", "b".into());
+        t.record(Time(3), "tcp", "ack", "c".into());
+        let details: Vec<_> = t.of_source("tcp").map(|e| e.detail.as_str()).collect();
+        assert_eq!(details, vec!["a", "c"]);
+        assert_eq!(t.of_source("nope").count(), 0);
+    }
+
+    #[test]
+    fn dump_tail_is_bounded() {
+        let mut t = Trace::new(10);
+        for i in 0..6u64 {
+            t.record(Time(i), "x", "k", format!("{i}"));
+        }
+        let s = t.dump_tail(2);
+        assert!(s.contains("4 earlier events omitted"));
+        assert!(s.contains("x k: 4") && s.contains("x k: 5"));
+        assert!(!s.contains("x k: 3"));
+        // Tail longer than the trace renders everything with no banner.
+        let full = t.dump_tail(100);
+        assert!(!full.contains("omitted"));
+        assert!(full.contains("x k: 0"));
+    }
+
+    #[test]
+    fn kind_allowlist_filters_without_counting_drops() {
+        let mut t = Trace::new(10);
+        t.set_allowed_kinds(Some(vec!["retransmit"]));
+        t.record(Time(1), "tcp", "send", "noise".into());
+        t.record(Time(2), "tcp", "retransmit", "kept".into());
+        t.record(Time(3), "tcp", "ack", "noise".into());
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(t.count_kind("retransmit"), 1);
+        t.set_allowed_kinds(None);
+        t.record(Time(4), "tcp", "ack", "now kept".into());
+        assert_eq!(t.len(), 2);
     }
 }

@@ -418,10 +418,7 @@ mod tests {
         for (api, csum) in table_rows() {
             for a in adaptor_columns() {
                 let ops = transmit_ops(api, csum, a);
-                let device_moves = ops
-                    .iter()
-                    .filter(|o| o.bus_transfers() > 0)
-                    .count();
+                let device_moves = ops.iter().filter(|o| o.bus_transfers() > 0).count();
                 assert_eq!(device_moves, 1, "{api:?}/{csum:?}/{a:?}");
                 // And the sequence never has more than 3 ops.
                 assert!(ops.len() <= 3);

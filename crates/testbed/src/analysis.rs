@@ -88,8 +88,16 @@ mod tests {
             sc.efficiency_mbps
         );
         // Paper: per-byte share 80 % → 43 %.
-        assert!((0.75..0.85).contains(&un.per_byte_share), "{}", un.per_byte_share);
-        assert!((0.38..0.48).contains(&sc.per_byte_share), "{}", sc.per_byte_share);
+        assert!(
+            (0.75..0.85).contains(&un.per_byte_share),
+            "{}",
+            un.per_byte_share
+        );
+        assert!(
+            (0.38..0.48).contains(&sc.per_byte_share),
+            "{}",
+            sc.per_byte_share
+        );
         // "Almost three times more efficient."
         let ratio = sc.efficiency_mbps / un.efficiency_mbps;
         assert!((2.4..3.2).contains(&ratio), "ratio {ratio}");

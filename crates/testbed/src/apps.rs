@@ -360,7 +360,9 @@ pub struct KernelFileServer {
 
 /// Deterministic "disk" contents for block `b`, offset `i`.
 pub fn file_block_byte(block: u32, i: usize) -> u8 {
-    ((block as usize).wrapping_mul(31).wrapping_add(i.wrapping_mul(7))) as u8
+    ((block as usize)
+        .wrapping_mul(31)
+        .wrapping_add(i.wrapping_mul(7))) as u8
 }
 
 impl KernelFileServer {

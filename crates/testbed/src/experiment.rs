@@ -12,7 +12,7 @@ use crate::world::World;
 use bytes::Bytes;
 use outboard_cab::{Cab, CabEvent, SdmaDst, SdmaRx, SdmaTx, SgEntry};
 use outboard_host::{HostMem, MachineConfig, TaskId};
-use outboard_sim::{stats, Dur, Time};
+use outboard_sim::{stats, Dur, MetricsRegistry, Time};
 use outboard_stack::{SockAddr, StackConfig};
 use std::net::Ipv4Addr;
 
@@ -84,6 +84,9 @@ pub struct Metrics {
     pub hw_checksums: u64,
     /// Packets checksummed in software.
     pub sw_checksums: u64,
+    /// Full metrics snapshot of the world at the end of the run (hosts,
+    /// links, fabric totals) over the run's elapsed virtual time.
+    pub stats: MetricsRegistry,
 }
 
 const SENDER_TASK: TaskId = TaskId(1);
@@ -125,8 +128,14 @@ pub fn run_ttcp(cfg: &ExperimentConfig) -> Metrics {
     // Generous deadline: even 1 Mbit/s would finish in time.
     let deadline = Time::ZERO + Dur::from_secs_f64((cfg.total_bytes as f64 * 8.0 / 1e6).max(30.0));
     let done = w.run_while(deadline, |w| {
-        !(w.hosts[0].apps[0].as_ref().map(|a| a.finished()).unwrap_or(true)
-            && w.hosts[1].apps[0].as_ref().map(|a| a.finished()).unwrap_or(true))
+        !(w.hosts[0].apps[0]
+            .as_ref()
+            .map(|a| a.finished())
+            .unwrap_or(true)
+            && w.hosts[1].apps[0]
+                .as_ref()
+                .map(|a| a.finished())
+                .unwrap_or(true))
     });
     let elapsed = w.now() - Time::ZERO;
 
@@ -156,6 +165,14 @@ pub fn run_ttcp(cfg: &ExperimentConfig) -> Metrics {
     let header_only = w.hosts[0].kernel.stats.retransmit_header_only;
     let hw_checksums = w.hosts[0].kernel.stats.hw_checksums;
     let sw_checksums = w.hosts[0].kernel.stats.sw_checksums;
+    if w.hosts[0].kernel.trace.dropped() > 0 {
+        eprintln!(
+            "warning: sender trace ring evicted {} events; counters in \
+             Metrics come from the registry and are unaffected",
+            w.hosts[0].kernel.trace.dropped()
+        );
+    }
+    let stats = w.metrics(elapsed);
 
     Metrics {
         completed: done && bytes_read >= cfg.total_bytes,
@@ -180,13 +197,14 @@ pub fn run_ttcp(cfg: &ExperimentConfig) -> Metrics {
         header_only_retransmits: header_only,
         hw_checksums,
         sw_checksums,
+        stats,
     }
 }
 
 fn sum_retransmits(w: &World, host: usize) -> u64 {
-    // TCP retransmit counters live in the sockets' TCBs; sum what is still
-    // visible (closed sockets are gone, so also use the trace).
-    w.hosts[host].kernel.trace.count_kind("retransmit") as u64
+    // Emission-site counter in the kernel, not the bounded trace ring: the
+    // ring evicts old events on long runs and undercounts.
+    w.hosts[host].kernel.stats.tcp_retransmit_segs
 }
 
 /// The "raw HIPPI" bound (Figure 5a): well-formed packets of `packet_size`
@@ -266,10 +284,7 @@ pub fn raw_hippi_throughput(machine: &MachineConfig, packet_size: usize, packets
             last_done = last_done.max(at);
         }
     }
-    stats::mbps(
-        (packet_size * packets) as u64,
-        last_done - Time::ZERO,
-    )
+    stats::mbps((packet_size * packets) as u64, last_done - Time::ZERO)
 }
 
 #[cfg(test)]

@@ -9,9 +9,9 @@
 use bytes::Bytes;
 use outboard_cab::{CabEvent, PacketId};
 use outboard_host::{Charge, Cpu, HostMem, MachineConfig, TaskId};
-use outboard_sim::{Dur, EventQueue, Time};
-use outboard_stack::{Effect, IfaceId, Kernel, SockId, StackConfig, TimerKind};
 use outboard_netsim::{Capture, Framing, Link};
+use outboard_sim::{Dur, EventQueue, MetricsRegistry, Time};
+use outboard_stack::{Effect, IfaceId, Kernel, SockId, StackConfig, TimerKind};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
@@ -150,6 +150,9 @@ pub struct World {
     next_hippi_addr: u32,
     /// Frames that entered any link (diagnostics).
     pub frames_on_fabric: u64,
+    /// Bytes that entered any link (diagnostics; pairs with the per-link
+    /// `bytes_in` counters for the conservation invariant).
+    pub bytes_on_fabric: u64,
     /// Optional tcpdump-style capture of every frame entering a link.
     pub capture: Option<Capture>,
 }
@@ -166,6 +169,7 @@ impl World {
             kernel_socks: HashMap::new(),
             next_hippi_addr: 1,
             frames_on_fabric: 0,
+            bytes_on_fabric: 0,
             capture: None,
         }
     }
@@ -173,6 +177,36 @@ impl World {
     /// Current virtual time (the last dispatched event's timestamp).
     pub fn now(&self) -> Time {
         self.queue.now()
+    }
+
+    /// Snapshot every counter in the world into one [`MetricsRegistry`].
+    ///
+    /// `elapsed` is the virtual interval the busy-fraction and share
+    /// metrics are computed over (normally the measured transfer's
+    /// duration). Hosts are published under `host{i}.*` (kernel, VM, and
+    /// per-interface CAB stats, plus `host{i}.cpu.*` for the CPU
+    /// accounting), links under `link.h{host}.if{iface}.*` in sorted key
+    /// order, and fabric-wide totals under `world.*`. Iteration orders are
+    /// fixed, so two identical runs snapshot byte-identical registries.
+    pub fn metrics(&self, elapsed: Dur) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new(elapsed);
+        for (i, host) in self.hosts.iter().enumerate() {
+            let name = format!("host{i}");
+            host.kernel.publish_metrics(&mut reg.scope(&name));
+            host.cpu
+                .publish_metrics(&mut reg.scope(&format!("{name}.cpu")));
+        }
+        let mut keys: Vec<&(usize, IfaceId)> = self.links.keys().collect();
+        keys.sort();
+        for key in keys {
+            let link = &self.links[key];
+            let mut s = reg.scope(&format!("link.h{}.if{}", key.0, key.1 .0));
+            link.publish_metrics(&mut s);
+        }
+        let mut w = reg.scope("world");
+        w.counter("frames_on_fabric", self.frames_on_fabric);
+        w.counter("bytes_on_fabric", self.bytes_on_fabric);
+        reg
     }
 
     /// Add a host with the given machine and stack configuration.
@@ -263,7 +297,8 @@ impl World {
             self.hosts[host].measured_task = Some(task);
         }
         self.hosts[host].apps.push(Some(app));
-        self.queue.push(self.queue.now(), Event::AppStep { host, task });
+        self.queue
+            .push(self.queue.now(), Event::AppStep { host, task });
     }
 
     /// Route in-kernel socket readiness to an app.
@@ -483,6 +518,7 @@ impl World {
                 frame,
             } => {
                 self.frames_on_fabric += 1;
+                self.bytes_on_fabric += frame.len() as u64;
                 if let Some(cap) = &mut self.capture {
                     let framing = if dst_addr != 0 {
                         Framing::Hippi
@@ -550,7 +586,11 @@ impl World {
 
     /// Run until a predicate over the world holds (checked between events)
     /// or the deadline passes; returns true when the predicate held.
-    pub fn run_while(&mut self, deadline: Time, mut keep_going: impl FnMut(&World) -> bool) -> bool {
+    pub fn run_while(
+        &mut self,
+        deadline: Time,
+        mut keep_going: impl FnMut(&World) -> bool,
+    ) -> bool {
         loop {
             if !keep_going(self) {
                 return true;

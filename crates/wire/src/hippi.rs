@@ -116,10 +116,7 @@ mod tests {
 
     #[test]
     fn rejects_short_buffer_and_bad_d2() {
-        assert_eq!(
-            HippiHeader::parse(&[0u8; 10]),
-            Err(WireError::Truncated)
-        );
+        assert_eq!(HippiHeader::parse(&[0u8; 10]), Err(WireError::Truncated));
         let h = HippiHeader::new(1, 2, 100, 0);
         let buf = h.build(); // no payload present
         assert_eq!(HippiHeader::parse(&buf), Err(WireError::BadLength));

@@ -46,6 +46,16 @@ pub mod proto {
     pub const TCP: u8 = 6;
     /// User Datagram Protocol.
     pub const UDP: u8 = 17;
+
+    /// Human-readable protocol name for reports and traces.
+    pub fn name(p: u8) -> &'static str {
+        match p {
+            ICMP => "icmp",
+            TCP => "tcp",
+            UDP => "udp",
+            _ => "other",
+        }
+    }
 }
 
 /// Errors produced by header parsers.

@@ -268,7 +268,13 @@ mod tests {
 
     #[test]
     fn plain_header_round_trip() {
-        let mut h = TcpHeader::new(1234, 80, 0xDEADBEEF, 0x12345678, TcpFlags::ACK | TcpFlags::PSH);
+        let mut h = TcpHeader::new(
+            1234,
+            80,
+            0xDEADBEEF,
+            0x12345678,
+            TcpFlags::ACK | TcpFlags::PSH,
+        );
         h.window = 0xFFFF;
         h.checksum = 0xABCD;
         let bytes = h.build();

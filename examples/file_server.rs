@@ -27,12 +27,23 @@ fn main() {
     );
     let client_ip = Ipv4Addr::new(10, 0, 0, 1);
     let server_ip = Ipv4Addr::new(10, 0, 0, 2);
-    w.connect_cab(client_host, client_ip, server_host, server_ip, Dur::micros(5), 7);
+    w.connect_cab(
+        client_host,
+        client_ip,
+        server_host,
+        server_ip,
+        Dur::micros(5),
+        7,
+    );
 
     // The in-kernel server: runs once to create its kernel socket, then is
     // driven entirely by KernelReady events.
     let server_task = TaskId(10);
-    w.add_app(server_host, Box::new(KernelFileServer::new(server_task, 2049)), false);
+    w.add_app(
+        server_host,
+        Box::new(KernelFileServer::new(server_task, 2049)),
+        false,
+    );
     // Let the server initialize, then bind its readiness routing.
     w.run_until(Time::ZERO + Dur::micros(100));
     let server_sock = {
@@ -80,8 +91,14 @@ fn main() {
     println!("verify errors    : {}", client.verify_errors);
     println!("requests served  : {}", server.requests_served);
     let ks = &w.hosts[server_host].kernel.stats;
-    println!("server kernel: wcab->regular conversions = {}", ks.wcab_to_regular);
-    println!("server kernel: hw checksums on responses = {}", ks.hw_checksums);
+    println!(
+        "server kernel: wcab->regular conversions = {}",
+        ks.wcab_to_regular
+    );
+    println!(
+        "server kernel: hw checksums on responses = {}",
+        ks.hw_checksums
+    );
     assert_eq!(client.blocks_received, blocks);
     assert_eq!(client.verify_errors, 0);
     println!("OK: all blocks served and verified");

@@ -25,5 +25,8 @@ fn main() {
             r.utilization * 100.0
         );
     }
-    println!("\nThe CAB ships {} logical channels.", outboard::cab::CabConfig::default().num_channels);
+    println!(
+        "\nThe CAB ships {} logical channels.",
+        outboard::cab::CabConfig::default().num_channels
+    );
 }

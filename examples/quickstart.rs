@@ -4,10 +4,10 @@
 //! Run with: `cargo run --example quickstart`
 
 use outboard::host::MachineConfig;
+use outboard::sim::{Dur, Time};
 use outboard::stack::StackConfig;
 use outboard::testbed::experiment::build_ttcp_world;
 use outboard::testbed::{run_ttcp, ExperimentConfig};
-use outboard::sim::{Dur, Time};
 
 fn main() {
     let mut stack = StackConfig::single_copy();
@@ -21,8 +21,14 @@ fn main() {
     println!("bytes delivered   : {}", metrics.bytes);
     println!("payload verified  : {} errors", metrics.verify_errors);
     println!("throughput        : {:7.1} Mbit/s", metrics.throughput_mbps);
-    println!("sender CPU        : {:7.1} %", metrics.sender_utilization * 100.0);
-    println!("sender efficiency : {:7.0} Mbit/s at full CPU", metrics.sender_efficiency_mbps);
+    println!(
+        "sender CPU        : {:7.1} %",
+        metrics.sender_utilization * 100.0
+    );
+    println!(
+        "sender efficiency : {:7.0} Mbit/s at full CPU",
+        metrics.sender_efficiency_mbps
+    );
     println!("outboard checksums: {}", metrics.hw_checksums);
     println!("software checksums: {}", metrics.sw_checksums);
 
@@ -33,6 +39,9 @@ fn main() {
     println!("\n== sender kernel counters ==");
     println!("packets out            : {}", s.tx_packets);
     println!("M_UIO -> M_WCAB        : {}", s.uio_to_wcab);
-    println!("VM ops (pin/map calls) : {}", w.hosts[0].kernel.vm.stats().pin_calls);
+    println!(
+        "VM ops (pin/map calls) : {}",
+        w.hosts[0].kernel.vm.stats().pin_calls
+    );
     println!("header-only retransmits: {}", s.retransmit_header_only);
 }

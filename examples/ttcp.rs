@@ -14,14 +14,8 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mode = args.get(1).map(String::as_str).unwrap_or("single");
     let machine = args.get(2).map(String::as_str).unwrap_or("400");
-    let write_kb: usize = args
-        .get(3)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(64);
-    let total_mb: usize = args
-        .get(4)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8);
+    let write_kb: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(64);
+    let total_mb: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(8);
 
     let machine = match machine {
         "300lx" | "300" | "lx" => MachineConfig::alpha_3000_300lx(),
@@ -52,8 +46,14 @@ fn main() {
     println!("  throughput           : {:8.1} Mbit/s", m.throughput_mbps);
     println!("  sender utilization   : {:8.2}", m.sender_utilization);
     println!("  receiver utilization : {:8.2}", m.receiver_utilization);
-    println!("  sender efficiency    : {:8.0} Mbit/s", m.sender_efficiency_mbps);
-    println!("  receiver efficiency  : {:8.0} Mbit/s", m.receiver_efficiency_mbps);
+    println!(
+        "  sender efficiency    : {:8.0} Mbit/s",
+        m.sender_efficiency_mbps
+    );
+    println!(
+        "  receiver efficiency  : {:8.0} Mbit/s",
+        m.receiver_efficiency_mbps
+    );
     println!("  writes               : {}", m.writes);
     println!("  retransmits          : {}", m.retransmits);
     println!("  verify errors        : {}", m.verify_errors);

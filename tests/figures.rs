@@ -59,7 +59,10 @@ fn fig5_throughput_and_utilization_shape() {
     let raw = raw_hippi_throughput(&m400, 32 * 1024, 200);
     let rel = (sc.throughput_mbps - un.throughput_mbps).abs() / un.throughput_mbps;
     assert!(rel < 0.1, "throughputs should be similar at 256 KB: {rel}");
-    assert!(sc.throughput_mbps <= raw * 1.02, "raw HIPPI is an upper bound");
+    assert!(
+        sc.throughput_mbps <= raw * 1.02,
+        "raw HIPPI is an upper bound"
+    );
     assert!(
         sc.sender_utilization < un.sender_utilization * 0.6,
         "single-copy must leave far more CPU: {} vs {}",

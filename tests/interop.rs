@@ -44,7 +44,11 @@ fn tcp_over_conventional_ethernet() {
     // The single-copy stack over a device with no outboard support: the
     // UIO->regular conversion layer at the driver entry (§5) makes it work.
     let mut w = eth_world();
-    w.add_app(1, Box::new(TtcpReceiver::new(TaskId(2), 5001, 32 * 1024)), true);
+    w.add_app(
+        1,
+        Box::new(TtcpReceiver::new(TaskId(2), 5001, 32 * 1024)),
+        true,
+    );
     w.add_app(
         0,
         Box::new(TtcpSender::new(
@@ -84,7 +88,11 @@ fn loopback_transfer() {
     let ip = Ipv4Addr::new(127, 0, 0, 1);
     let lo = w.hosts[h].kernel.add_loopback(ip);
     w.hosts[h].kernel.add_route(ip, 32, lo);
-    w.add_app(h, Box::new(TtcpReceiver::new(TaskId(2), 5001, 64 * 1024)), false);
+    w.add_app(
+        h,
+        Box::new(TtcpReceiver::new(TaskId(2), 5001, 64 * 1024)),
+        false,
+    );
     w.add_app(
         h,
         Box::new(TtcpSender::new(
@@ -111,8 +119,16 @@ fn udp_datagrams_over_cab_and_ethernet() {
     use outboard::stack::{ReadResult, WriteResult};
     // Hand-driven UDP exchange over the CAB: one datagram each way.
     let mut w = World::new();
-    let a = w.add_host("a", MachineConfig::alpha_3000_400(), StackConfig::single_copy());
-    let b = w.add_host("b", MachineConfig::alpha_3000_400(), StackConfig::single_copy());
+    let a = w.add_host(
+        "a",
+        MachineConfig::alpha_3000_400(),
+        StackConfig::single_copy(),
+    );
+    let b = w.add_host(
+        "b",
+        MachineConfig::alpha_3000_400(),
+        StackConfig::single_copy(),
+    );
     let (ip_a, ip_b) = (Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2));
     w.connect_cab(a, ip_a, b, ip_b, Dur::micros(5), 9);
 
@@ -139,7 +155,10 @@ fn udp_datagrams_over_cab_and_ethernet() {
             .kernel
             .sys_write(s, TaskId(10), 0x4000, 8192, &mut h.mem, Time::ZERO)
             .unwrap();
-        assert!(matches!(r, WriteResult::Blocked { .. } | WriteResult::Done { .. }));
+        assert!(matches!(
+            r,
+            WriteResult::Blocked { .. } | WriteResult::Done { .. }
+        ));
         let _ = h;
         w.apply_external_effects(a, fx);
     }
@@ -166,14 +185,23 @@ fn icmp_echo_through_the_stack() {
     // Ping b from a: build an echo request via the kernel's ICMP machinery
     // by injecting it at IP level through the in-kernel interface.
     let mut w = World::new();
-    let a = w.add_host("a", MachineConfig::alpha_3000_400(), StackConfig::single_copy());
-    let b = w.add_host("b", MachineConfig::alpha_3000_400(), StackConfig::single_copy());
+    let a = w.add_host(
+        "a",
+        MachineConfig::alpha_3000_400(),
+        StackConfig::single_copy(),
+    );
+    let b = w.add_host(
+        "b",
+        MachineConfig::alpha_3000_400(),
+        StackConfig::single_copy(),
+    );
     let (ip_a, ip_b) = (Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2));
     w.connect_cab(a, ip_a, b, ip_b, Dur::micros(5), 10);
     // Inject the request from a's kernel.
     let fx = {
         let h = &mut w.hosts[a];
-        h.kernel.send_ping(ip_b, 0x42, 1, b"outboard ping", &mut h.mem, Time::ZERO)
+        h.kernel
+            .send_ping(ip_b, 0x42, 1, b"outboard ping", &mut h.mem, Time::ZERO)
     };
     w.apply_external_effects(a, fx);
     w.run_until(Time::ZERO + Dur::millis(50));
@@ -193,9 +221,21 @@ fn icmp_echo_through_the_stack() {
 fn router_forwards_between_cab_and_ethernet() {
     // Three hosts: a --CAB-- r --ETH-- c. a sends TCP to c through r.
     let mut w = World::new();
-    let a = w.add_host("a", MachineConfig::alpha_3000_400(), StackConfig::single_copy());
-    let r = w.add_host("r", MachineConfig::alpha_3000_400(), StackConfig::single_copy());
-    let c = w.add_host("c", MachineConfig::alpha_3000_400(), StackConfig::single_copy());
+    let a = w.add_host(
+        "a",
+        MachineConfig::alpha_3000_400(),
+        StackConfig::single_copy(),
+    );
+    let r = w.add_host(
+        "r",
+        MachineConfig::alpha_3000_400(),
+        StackConfig::single_copy(),
+    );
+    let c = w.add_host(
+        "c",
+        MachineConfig::alpha_3000_400(),
+        StackConfig::single_copy(),
+    );
     let ip_a = Ipv4Addr::new(10, 0, 0, 1);
     let ip_r1 = Ipv4Addr::new(10, 0, 0, 254);
     let ip_r2 = Ipv4Addr::new(192, 168, 1, 254);
@@ -205,13 +245,19 @@ fn router_forwards_between_cab_and_ethernet() {
     // a routes everything via its CAB; ARP for the far subnet points at r.
     w.hosts[a].kernel.add_route(ip_c, 32, if_a);
     w.hosts[a].kernel.add_arp_hippi(if_a, ip_c, 2); // r's fabric address
-    // c routes back through r.
+                                                    // c routes back through r.
     w.hosts[c].kernel.add_route(ip_a, 32, if_c);
     use outboard::wire::ether::MacAddr;
-    w.hosts[c].kernel.add_arp_ether(if_c, ip_a, MacAddr::local((c as u8) * 2 + 1));
+    w.hosts[c]
+        .kernel
+        .add_arp_ether(if_c, ip_a, MacAddr::local((c as u8) * 2 + 1));
     // r: routes to c exist via connect_eth; ARP for the eth side of c too.
 
-    w.add_app(c, Box::new(TtcpReceiver::new(TaskId(2), 5001, 16 * 1024)), true);
+    w.add_app(
+        c,
+        Box::new(TtcpReceiver::new(TaskId(2), 5001, 16 * 1024)),
+        true,
+    );
     w.add_app(
         a,
         Box::new(TtcpSender::new(
@@ -248,13 +294,29 @@ fn router_forwards_between_cab_and_ethernet() {
 fn two_connections_share_the_adaptor() {
     use outboard::sim::stats::mbps;
     let mut w = World::new();
-    let a = w.add_host("a", MachineConfig::alpha_3000_400(), StackConfig::single_copy());
-    let b = w.add_host("b", MachineConfig::alpha_3000_400(), StackConfig::single_copy());
+    let a = w.add_host(
+        "a",
+        MachineConfig::alpha_3000_400(),
+        StackConfig::single_copy(),
+    );
+    let b = w.add_host(
+        "b",
+        MachineConfig::alpha_3000_400(),
+        StackConfig::single_copy(),
+    );
     let (ip_a, ip_b) = (Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2));
     w.connect_cab(a, ip_a, b, ip_b, outboard::sim::Dur::micros(5), 61);
     let total = 2 * 1024 * 1024;
-    w.add_app(b, Box::new(TtcpReceiver::new(TaskId(2), 5001, 64 * 1024)), true);
-    w.add_app(b, Box::new(TtcpReceiver::new(TaskId(4), 5002, 64 * 1024)), false);
+    w.add_app(
+        b,
+        Box::new(TtcpReceiver::new(TaskId(2), 5001, 64 * 1024)),
+        true,
+    );
+    w.add_app(
+        b,
+        Box::new(TtcpReceiver::new(TaskId(4), 5002, 64 * 1024)),
+        false,
+    );
     let mut tx1 = TtcpSender::new(TaskId(1), SockAddr::new(ip_b, 5001), 64 * 1024, total);
     let mut tx2 = TtcpSender::new(TaskId(3), SockAddr::new(ip_b, 5002), 64 * 1024, total);
     // Separate user buffers.
@@ -277,10 +339,7 @@ fn two_connections_share_the_adaptor() {
     }
     // Aggregate throughput cannot exceed the adaptor's effective limit.
     let agg = mbps((2 * total) as u64, elapsed);
-    assert!(
-        agg < 160.0,
-        "aggregate {agg} Mbit/s exceeds the SDMA limit"
-    );
+    assert!(agg < 160.0, "aggregate {agg} Mbit/s exceeds the SDMA limit");
     assert!(agg > 80.0, "aggregate {agg} Mbit/s suspiciously low");
 }
 
@@ -292,9 +351,21 @@ fn router_fragments_large_udp() {
     use outboard::host::UserMemory;
     use outboard::stack::{Proto, ReadResult, WriteResult};
     let mut w = World::new();
-    let a = w.add_host("a", MachineConfig::alpha_3000_400(), StackConfig::single_copy());
-    let r = w.add_host("r", MachineConfig::alpha_3000_400(), StackConfig::single_copy());
-    let c = w.add_host("c", MachineConfig::alpha_3000_400(), StackConfig::single_copy());
+    let a = w.add_host(
+        "a",
+        MachineConfig::alpha_3000_400(),
+        StackConfig::single_copy(),
+    );
+    let r = w.add_host(
+        "r",
+        MachineConfig::alpha_3000_400(),
+        StackConfig::single_copy(),
+    );
+    let c = w.add_host(
+        "c",
+        MachineConfig::alpha_3000_400(),
+        StackConfig::single_copy(),
+    );
     let ip_a = Ipv4Addr::new(10, 0, 0, 1);
     let ip_r1 = Ipv4Addr::new(10, 0, 0, 254);
     let ip_r2 = Ipv4Addr::new(192, 168, 1, 254);
@@ -305,7 +376,9 @@ fn router_fragments_large_udp() {
     w.hosts[a].kernel.add_arp_hippi(if_a, ip_c, 2);
     w.hosts[c].kernel.add_route(ip_a, 32, if_c);
     use outboard::wire::ether::MacAddr;
-    w.hosts[c].kernel.add_arp_ether(if_c, ip_a, MacAddr::local((r * 2 + 1) as u8));
+    w.hosts[c]
+        .kernel
+        .add_arp_ether(if_c, ip_a, MacAddr::local((r * 2 + 1) as u8));
 
     let rx_task = TaskId(30);
     let rx_sock = {
@@ -319,14 +392,19 @@ fn router_fragments_large_udp() {
     let fx = {
         let h = &mut w.hosts[a];
         let s = h.kernel.sys_socket(Proto::Udp);
-        h.kernel.sys_connect_udp(s, SockAddr::new(ip_c, 7777)).unwrap();
+        h.kernel
+            .sys_connect_udp(s, SockAddr::new(ip_c, 7777))
+            .unwrap();
         h.mem.create_region(TaskId(1), 0x4000, 16 * 1024);
         h.mem.write_user(TaskId(1), 0x4000, &data).unwrap();
         let (wr, fx) = h
             .kernel
             .sys_write(s, TaskId(1), 0x4000, 8000, &mut h.mem, Time::ZERO)
             .unwrap();
-        assert!(matches!(wr, WriteResult::Blocked { .. } | WriteResult::Done { .. }));
+        assert!(matches!(
+            wr,
+            WriteResult::Blocked { .. } | WriteResult::Done { .. }
+        ));
         fx
     };
     w.apply_external_effects(a, fx);

@@ -13,8 +13,16 @@ const IP_B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
 
 fn cab_world() -> World {
     let mut w = World::new();
-    let a = w.add_host("a", MachineConfig::alpha_3000_400(), StackConfig::single_copy());
-    let b = w.add_host("b", MachineConfig::alpha_3000_400(), StackConfig::single_copy());
+    let a = w.add_host(
+        "a",
+        MachineConfig::alpha_3000_400(),
+        StackConfig::single_copy(),
+    );
+    let b = w.add_host(
+        "b",
+        MachineConfig::alpha_3000_400(),
+        StackConfig::single_copy(),
+    );
     w.connect_cab(a, IP_A, b, IP_B, Dur::micros(5), 77);
     w
 }
@@ -43,11 +51,19 @@ fn file_server_serves_and_client_verifies() {
     let blocks = 16u32;
     w.add_app(
         0,
-        Box::new(FileClient::new(TaskId(1), SockAddr::new(IP_B, 2049), blocks, 4096)),
+        Box::new(FileClient::new(
+            TaskId(1),
+            SockAddr::new(IP_B, 2049),
+            blocks,
+            4096,
+        )),
         true,
     );
     let ok = w.run_while(Time::ZERO + Dur::secs(30), |w| {
-        !w.hosts[0].apps[0].as_ref().map(|a| a.finished()).unwrap_or(true)
+        !w.hosts[0].apps[0]
+            .as_ref()
+            .map(|a| a.finished())
+            .unwrap_or(true)
     });
     assert!(ok, "client never finished");
     let client = w.hosts[0].apps[0]
@@ -73,7 +89,9 @@ fn large_requests_exercise_the_conversion_queue() {
     let fx = {
         let h = &mut w.hosts[0];
         let s = h.kernel.sys_socket(Proto::Udp);
-        h.kernel.sys_connect_udp(s, SockAddr::new(IP_B, 2049)).unwrap();
+        h.kernel
+            .sys_connect_udp(s, SockAddr::new(IP_B, 2049))
+            .unwrap();
         h.mem.create_region(task, 0x4000, 16 * 1024);
         let mut req = vec![0u8; 8192];
         req[..2].copy_from_slice(b"RD");
@@ -84,7 +102,10 @@ fn large_requests_exercise_the_conversion_queue() {
             .kernel
             .sys_write(s, task, 0x4000, 8192, &mut h.mem, Time::ZERO)
             .unwrap();
-        assert!(matches!(r, WriteResult::Blocked { .. } | WriteResult::Done { .. }));
+        assert!(matches!(
+            r,
+            WriteResult::Blocked { .. } | WriteResult::Done { .. }
+        ));
         fx
     };
     w.apply_external_effects(0, fx);
@@ -118,7 +139,9 @@ fn fragmented_udp_datagram_reassembles() {
         let s2 = s;
         let h = &mut w.hosts[0];
         let tx = h.kernel.sys_socket(Proto::Udp);
-        h.kernel.sys_connect_udp(tx, SockAddr::new(IP_B, 9000)).unwrap();
+        h.kernel
+            .sys_connect_udp(tx, SockAddr::new(IP_B, 9000))
+            .unwrap();
         h.mem.create_region(TaskId(1), 0x4000, 128 * 1024);
         let data: Vec<u8> = (0..60_000u32).map(|i| (i * 7 + 1) as u8).collect();
         h.mem.write_user(TaskId(1), 0x4000, &data).unwrap();
@@ -131,7 +154,10 @@ fn fragmented_udp_datagram_reassembles() {
     w.apply_external_effects(0, tx_fx);
     w.run_until(w.now() + Dur::millis(200));
 
-    assert!(w.hosts[0].kernel.stats.frags_sent >= 2, "datagram must fragment");
+    assert!(
+        w.hosts[0].kernel.stats.frags_sent >= 2,
+        "datagram must fragment"
+    );
     assert!(
         w.hosts[1].kernel.stats.frags_reassembled >= 2,
         "fragments must be counted at the receiver"
@@ -167,7 +193,9 @@ fn single_copy_udp_write_blocks_until_dma() {
     }
     let h = &mut w.hosts[0];
     let s = h.kernel.sys_socket(Proto::Udp);
-    h.kernel.sys_connect_udp(s, SockAddr::new(IP_B, 9100)).unwrap();
+    h.kernel
+        .sys_connect_udp(s, SockAddr::new(IP_B, 9100))
+        .unwrap();
     h.mem.create_region(TaskId(1), 0x4000, 64 * 1024);
     let (r, fx) = h
         .kernel
@@ -194,7 +222,9 @@ fn kq_preserves_arrival_order_for_mixed_sizes() {
     let fx = {
         let h = &mut w.hosts[0];
         let s = h.kernel.sys_socket(Proto::Udp);
-        h.kernel.sys_connect_udp(s, SockAddr::new(IP_B, 2049)).unwrap();
+        h.kernel
+            .sys_connect_udp(s, SockAddr::new(IP_B, 2049))
+            .unwrap();
         h.mem.create_region(task, 0x4000, 32 * 1024);
         // Big request for block 1 (goes outboard; conversion DMA needed).
         let mut big = vec![0u8; 8192];
@@ -210,7 +240,9 @@ fn kq_preserves_arrival_order_for_mixed_sizes() {
         // conversion; must still be served second). Use a second socket so
         // the first (blocked) write doesn't conflict.
         let s2 = h.kernel.sys_socket(Proto::Udp);
-        h.kernel.sys_connect_udp(s2, SockAddr::new(IP_B, 2049)).unwrap();
+        h.kernel
+            .sys_connect_udp(s2, SockAddr::new(IP_B, 2049))
+            .unwrap();
         h.mem.create_region(TaskId(2), 0x8000, 4096);
         let mut small = [0u8; 12];
         small[..2].copy_from_slice(b"RD");
@@ -247,8 +279,8 @@ fn kq_preserves_arrival_order_for_mixed_sizes() {
 #[test]
 fn in_kernel_tcp_receiver() {
     use outboard::stack::Effect;
-    use outboard::testbed::apps::TtcpSender;
     use outboard::testbed::apps::ttcp_pattern;
+    use outboard::testbed::apps::TtcpSender;
 
     let mut w = cab_world();
     // Kernel listener on b.
@@ -296,7 +328,10 @@ fn in_kernel_tcp_receiver() {
             };
             w.apply_external_effects(1, fx);
         }
-        let done = w.hosts[0].apps[0].as_ref().map(|a| a.finished()).unwrap_or(true);
+        let done = w.hosts[0].apps[0]
+            .as_ref()
+            .map(|a| a.finished())
+            .unwrap_or(true);
         if done && received.len() >= 512 * 1024 {
             break;
         }
@@ -332,7 +367,13 @@ fn raw_ip_kernel_protocol() {
     let fx = {
         let h = &mut w.hosts[0];
         h.kernel
-            .kernel_send_raw(PROTO, IP_B, Chain::from_bytes(Bytes::from(payload.clone())), &mut h.mem, Time::ZERO)
+            .kernel_send_raw(
+                PROTO,
+                IP_B,
+                Chain::from_bytes(Bytes::from(payload.clone())),
+                &mut h.mem,
+                Time::ZERO,
+            )
             .unwrap()
     };
     w.apply_external_effects(0, fx);

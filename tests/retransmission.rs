@@ -66,8 +66,14 @@ fn corruption_is_caught_by_the_hardware_checksum() {
         .faults
         .corrupt_p = 0.02;
     let finished = w.run_while(Time::ZERO + Dur::secs(60), |w| {
-        !(w.hosts[0].apps[0].as_ref().map(|a| a.finished()).unwrap_or(true)
-            && w.hosts[1].apps[0].as_ref().map(|a| a.finished()).unwrap_or(true))
+        !(w.hosts[0].apps[0]
+            .as_ref()
+            .map(|a| a.finished())
+            .unwrap_or(true)
+            && w.hosts[1].apps[0]
+                .as_ref()
+                .map(|a| a.finished())
+                .unwrap_or(true))
     });
     assert!(finished, "transfer stalled under corruption");
     let rx_stats = &w.hosts[1].kernel.stats;
@@ -99,8 +105,14 @@ fn duplication_and_reordering_are_tolerated() {
         link.faults.reorder_delay = Dur::millis(2);
     }
     let finished = w.run_while(Time::ZERO + Dur::secs(60), |w| {
-        !(w.hosts[0].apps[0].as_ref().map(|a| a.finished()).unwrap_or(true)
-            && w.hosts[1].apps[0].as_ref().map(|a| a.finished()).unwrap_or(true))
+        !(w.hosts[0].apps[0]
+            .as_ref()
+            .map(|a| a.finished())
+            .unwrap_or(true)
+            && w.hosts[1].apps[0]
+                .as_ref()
+                .map(|a| a.finished())
+                .unwrap_or(true))
     });
     assert!(finished, "stalled under dup/reorder");
     let rx = w.hosts[1].apps[0]
@@ -150,8 +162,14 @@ fn unmodified_stack_detects_corruption_too() {
         .faults
         .corrupt_p = 0.02;
     let finished = w.run_while(Time::ZERO + Dur::secs(60), |w| {
-        !(w.hosts[0].apps[0].as_ref().map(|a| a.finished()).unwrap_or(true)
-            && w.hosts[1].apps[0].as_ref().map(|a| a.finished()).unwrap_or(true))
+        !(w.hosts[0].apps[0]
+            .as_ref()
+            .map(|a| a.finished())
+            .unwrap_or(true)
+            && w.hosts[1].apps[0]
+                .as_ref()
+                .map(|a| a.finished())
+                .unwrap_or(true))
     });
     assert!(finished, "stalled under corruption (unmodified)");
     assert!(w.hosts[1].kernel.stats.csum_errors > 0);

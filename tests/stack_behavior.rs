@@ -29,8 +29,16 @@ fn finished(w: &World) -> bool {
 #[test]
 fn mid_connection_interface_switch() {
     let mut w = World::new();
-    let a = w.add_host("a", MachineConfig::alpha_3000_400(), StackConfig::single_copy());
-    let b = w.add_host("b", MachineConfig::alpha_3000_400(), StackConfig::single_copy());
+    let a = w.add_host(
+        "a",
+        MachineConfig::alpha_3000_400(),
+        StackConfig::single_copy(),
+    );
+    let b = w.add_host(
+        "b",
+        MachineConfig::alpha_3000_400(),
+        StackConfig::single_copy(),
+    );
     let (_cab_a, _cab_b) = w.connect_cab(a, IP_A, b, IP_B, Dur::micros(5), 31);
     // A parallel Ethernet between the same hosts, with *different* IPs so
     // connect_eth's routes don't clobber the CAB ones.
@@ -46,7 +54,11 @@ fn mid_connection_interface_switch() {
     // is a different IP, but ip_input accepts any local iface IP. Give b a
     // return route for IP_A via Ethernet only after the switch (below).
 
-    w.add_app(b, Box::new(TtcpReceiver::new(TaskId(2), 5001, 64 * 1024)), true);
+    w.add_app(
+        b,
+        Box::new(TtcpReceiver::new(TaskId(2), 5001, 64 * 1024)),
+        true,
+    );
     w.add_app(
         a,
         Box::new(TtcpSender::new(
@@ -145,7 +157,10 @@ fn zero_window_stall_and_recovery() {
         assert_eq!(s.so_rcv.space(), 0, "receive buffer must be full");
     }
     let tx_done_before = w.hosts[0].apps[0].as_ref().unwrap().finished();
-    assert!(!tx_done_before, "sender cannot finish against a closed window");
+    assert!(
+        !tx_done_before,
+        "sender cannot finish against a closed window"
+    );
 
     // Drain by reading; each read frees space and advertises a new window.
     let rx_task = TaskId(2);
@@ -189,7 +204,10 @@ fn zero_window_stall_and_recovery() {
     }
     assert_eq!(got, 2 * 1024 * 1024, "drain incomplete");
     let ok = w.run_while(Time::ZERO + Dur::secs(120), |w| {
-        !w.hosts[0].apps[0].as_ref().map(|ap| ap.finished()).unwrap_or(true)
+        !w.hosts[0].apps[0]
+            .as_ref()
+            .map(|ap| ap.finished())
+            .unwrap_or(true)
     });
     assert!(ok, "sender never finished after the window reopened");
 }
@@ -241,7 +259,11 @@ fn cpu_accounting_follows_the_papers_formula() {
     let a = w.add_host("a", MachineConfig::alpha_3000_400(), stack.clone());
     let b = w.add_host("b", MachineConfig::alpha_3000_400(), stack);
     w.connect_cab(a, IP_A, b, IP_B, Dur::micros(5), 47);
-    w.add_app(b, Box::new(TtcpReceiver::new(TaskId(2), 5001, 64 * 1024)), true);
+    w.add_app(
+        b,
+        Box::new(TtcpReceiver::new(TaskId(2), 5001, 64 * 1024)),
+        true,
+    );
     w.add_app(
         a,
         Box::new(TtcpSender::new(
@@ -259,7 +281,10 @@ fn cpu_accounting_follows_the_papers_formula() {
     // All three buckets were exercised.
     assert!(acct.ttcp_user.as_nanos() > 0, "user loop time");
     assert!(acct.ttcp_sys.as_nanos() > 0, "syscall time");
-    assert!(acct.util_sys.as_nanos() > 0, "interrupts while ttcp blocked");
+    assert!(
+        acct.util_sys.as_nanos() > 0,
+        "interrupts while ttcp blocked"
+    );
     assert_eq!(
         acct.busy,
         acct.ttcp_user + acct.ttcp_sys + acct.util_sys,
@@ -282,8 +307,16 @@ fn unaligned_receive_buffer() {
     // Hand-driven: send one 8 KB UDP datagram, read into vaddr % 4 != 0.
     use outboard::stack::{Proto, ReadResult, WriteResult};
     let mut w = World::new();
-    let a = w.add_host("a", MachineConfig::alpha_3000_400(), StackConfig::single_copy());
-    let b = w.add_host("b", MachineConfig::alpha_3000_400(), StackConfig::single_copy());
+    let a = w.add_host(
+        "a",
+        MachineConfig::alpha_3000_400(),
+        StackConfig::single_copy(),
+    );
+    let b = w.add_host(
+        "b",
+        MachineConfig::alpha_3000_400(),
+        StackConfig::single_copy(),
+    );
     w.connect_cab(a, IP_A, b, IP_B, Dur::micros(5), 53);
     let rx_task = TaskId(20);
     let rx_sock = {
@@ -297,14 +330,19 @@ fn unaligned_receive_buffer() {
     let fx = {
         let h = &mut w.hosts[a];
         let s = h.kernel.sys_socket(Proto::Udp);
-        h.kernel.sys_connect_udp(s, SockAddr::new(IP_B, 9000)).unwrap();
+        h.kernel
+            .sys_connect_udp(s, SockAddr::new(IP_B, 9000))
+            .unwrap();
         h.mem.create_region(TaskId(1), 0x4000, 32 * 1024);
         h.mem.write_user(TaskId(1), 0x4000, &data).unwrap();
         let (r, fx) = h
             .kernel
             .sys_write(s, TaskId(1), 0x4000, 8192, &mut h.mem, Time::ZERO)
             .unwrap();
-        assert!(matches!(r, WriteResult::Blocked { .. } | WriteResult::Done { .. }));
+        assert!(matches!(
+            r,
+            WriteResult::Blocked { .. } | WriteResult::Done { .. }
+        ));
         fx
     };
     w.apply_external_effects(a, fx);
@@ -375,7 +413,7 @@ fn align_split_extension_recovers_efficiency() {
 /// One listener, several sequential connections: the accept queue and
 /// teardown must not leak sockets, ports, counters, or outboard memory.
 #[test]
-fn sequential_connections_do_not_leak()  {
+fn sequential_connections_do_not_leak() {
     use outboard::testbed::apps::{TtcpReceiver, TtcpSender};
     let mut stack = StackConfig::single_copy();
     stack.force_single_copy = true;
@@ -387,7 +425,11 @@ fn sequential_connections_do_not_leak()  {
         let rx_task = TaskId(100 + round * 2);
         let tx_task = TaskId(101 + round * 2);
         let port = 6000 + round as u16;
-        w.add_app(b, Box::new(TtcpReceiver::new(rx_task, port, 64 * 1024)), false);
+        w.add_app(
+            b,
+            Box::new(TtcpReceiver::new(rx_task, port, 64 * 1024)),
+            false,
+        );
         w.add_app(
             a,
             Box::new(TtcpSender::new(

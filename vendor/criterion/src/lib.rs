@@ -1,0 +1,203 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the API subset its benches use. Measurement is intentionally simple: each
+//! benchmark runs a short warm-up, then a timed batch, and prints the mean
+//! time per iteration (plus throughput when declared). No statistics, plots,
+//! or baselines — enough to smoke-run `cargo bench` offline and compare
+//! orders of magnitude.
+
+use std::time::{Duration, Instant};
+
+/// Declared throughput of one benchmark, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` sizes its batches; accepted for compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn measure<F: FnMut()>(&mut self, mut once: F) {
+        // Warm-up, then time a fixed batch.
+        once();
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            once();
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `f` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        self.measure(|| {
+            std::hint::black_box(f());
+        });
+    }
+
+    /// Time `routine` over inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Setup cost is included here (unlike real criterion); acceptable for
+        // a smoke-run harness.
+        self.measure(|| {
+            std::hint::black_box(routine(setup()));
+        });
+    }
+}
+
+fn fmt_dur(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(
+    name: &str,
+    iters: u64,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter_ns = b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if per_iter_ns > 0.0 => {
+            format!(
+                "  ({:.1} MiB/s)",
+                n as f64 / (1024.0 * 1024.0) / (per_iter_ns / 1e9)
+            )
+        }
+        Some(Throughput::Elements(n)) if per_iter_ns > 0.0 => {
+            format!("  ({:.0} elem/s)", n as f64 / (per_iter_ns / 1e9))
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name:<40} {:>12}/iter  [{} iters]{rate}",
+        fmt_dur(per_iter_ns),
+        b.iters
+    );
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { default_iters: 20 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("-- group: {name} --");
+        BenchmarkGroup {
+            _c: self,
+            iters: 20,
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), self.default_iters, None, &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    iters: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Lower/raise the iteration count (maps from criterion's sample count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u64).max(1);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), self.iters, self.throughput, &mut f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,246 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the subset of proptest it uses: the `proptest!` macro, `prop_assert!` /
+//! `prop_assert_eq!`, `any::<T>()`, integer/float range strategies, tuple
+//! strategies, `collection::vec`, `option::of`, and `Strategy::prop_map`.
+//!
+//! Differences from the real crate: inputs are drawn from a deterministic
+//! PRNG seeded from the test name and case index (so failures reproduce
+//! run-to-run), and there is **no shrinking** — a failing case reports its
+//! seed instead of a minimized input.
+
+pub mod runner;
+pub mod strategy;
+
+/// `proptest::collection` — strategies for collections.
+pub mod collection {
+    use crate::runner::TestRng;
+    use crate::strategy::Strategy;
+
+    /// Accepted size specifications for [`vec`].
+    pub trait SizeRange {
+        /// Draw a length.
+        fn draw(&self, rng: &mut TestRng) -> usize;
+    }
+    impl SizeRange for usize {
+        fn draw(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+    impl SizeRange for std::ops::Range<usize> {
+        fn draw(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + (rng.next_u64() % (self.end - self.start) as u64) as usize
+        }
+    }
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn draw(&self, rng: &mut TestRng) -> usize {
+            let (lo, hi) = (*self.start(), *self.end());
+            lo + (rng.next_u64() % (hi - lo + 1) as u64) as usize
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from `element`.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.draw(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `proptest::option` — strategies for `Option`.
+pub mod option {
+    use crate::runner::TestRng;
+    use crate::strategy::Strategy;
+
+    /// Strategy producing `Option`s of an inner strategy's values.
+    pub struct OptionStrategy<S>(S);
+
+    /// `proptest::option::of(inner)`: `None` about half the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 0 {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// The `proptest::prelude` glob import.
+pub mod prelude {
+    pub use crate::runner::ProptestConfig;
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert a condition inside a `proptest!` body; failure rejects the case
+/// with a message rather than panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}", ::std::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(*lhs == *rhs) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?} == {:?}`", lhs, rhs
+            ));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(*lhs == *rhs) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?} == {:?}`: {}", lhs, rhs, ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if *lhs == *rhs {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?} != {:?}`",
+                lhs,
+                rhs
+            ));
+        }
+    }};
+}
+
+/// Define property tests. Supports an optional
+/// `#![proptest_config(expr)]` inner attribute followed by any number of
+/// `fn name(pat in strategy, ...) { body }` items (with outer attributes).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($params:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __pt_cfg: $crate::runner::ProptestConfig = $cfg;
+            $crate::runner::run(&__pt_cfg, ::std::stringify!($name), |__pt_rng| {
+                $crate::__proptest_bind!{ __pt_rng, $($params)* }
+                let __pt_result: ::std::result::Result<(), ::std::string::String> =
+                    (|| { { $body }; ::std::result::Result::Ok(()) })();
+                __pt_result
+            });
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $p:pat in $s:expr) => {
+        let $p = $crate::strategy::Strategy::generate(&($s), $rng);
+    };
+    ($rng:ident, $p:pat in $s:expr, $($rest:tt)*) => {
+        let $p = $crate::strategy::Strategy::generate(&($s), $rng);
+        $crate::__proptest_bind!{ $rng, $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        /// Ranges honor their bounds; tuples and vecs compose.
+        #[test]
+        fn ranges_and_collections(x in 3u64..10,
+                                  f in 0.0f64..=1.0,
+                                  (k, n) in (0u8..3, 1usize..5),
+                                  v in crate::collection::vec(any::<u8>(), 2..6),
+                                  o in crate::option::of(any::<bool>())) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(k < 3 && (1..5).contains(&n));
+            prop_assert!((2..6).contains(&v.len()));
+            let _ = o;
+        }
+
+        #[test]
+        fn prop_map_applies(y in (0u32..5).prop_map(|v| v * 2)) {
+            prop_assert_eq!(y % 2, 0);
+            prop_assert!(y < 10, "y was {}", y);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for out in [&mut a, &mut b] {
+            crate::runner::run(
+                &ProptestConfig {
+                    cases: 8,
+                    ..ProptestConfig::default()
+                },
+                "det",
+                |rng| {
+                    out.push(rng.next_u64());
+                    Ok(())
+                },
+            );
+        }
+        assert_eq!(a, b);
+    }
+}
