@@ -42,12 +42,17 @@ pub fn figure_point(machine: &MachineConfig, single_copy: bool, write_size: usiz
     let mut cfg = ExperimentConfig::new(machine.clone(), stack, write_size);
     cfg.total_bytes = total_for(write_size);
     cfg.verify = false; // checked extensively in tests; keep benches honest
+    fault_args().apply(&mut cfg);
     run_ttcp(&cfg)
 }
 
 /// Render one figure (three panels) as aligned text plus CSV.
 pub fn print_figure(machine: &MachineConfig) {
     println!("# {}", machine.name);
+    let faults = fault_args();
+    if faults.any() {
+        println!("# fault injection active: {faults:?}");
+    }
     println!("# series: unmodified stack, modified (single-copy) stack, raw HIPPI");
     println!(
         "{:>8} | {:>9} {:>9} {:>9} | {:>8} {:>8} | {:>9} {:>9} | {:>9} {:>9}",
@@ -102,6 +107,112 @@ pub fn print_figure(machine: &MachineConfig) {
 /// Did the user pass the shared `--stats` flag?
 pub fn stats_requested() -> bool {
     std::env::args().any(|a| a == "--stats")
+}
+
+/// Fault-injection knobs shared by every benchmark binary.
+///
+/// Each field maps to one `--fault-*` flag (see `fault_args` for the
+/// spellings) and feeds the matching [`ExperimentConfig`] field, so any
+/// figure can be re-run under loss, corruption, or adaptor faults to watch
+/// the recovery machinery's cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultArgs {
+    /// `--fault-drop`: forward-link drop probability.
+    pub drop_p: f64,
+    /// `--fault-corrupt`: forward-link bit-flip probability.
+    pub corrupt_p: f64,
+    /// `--fault-reorder`: forward-link late-delivery probability.
+    pub reorder_p: f64,
+    /// `--fault-dup`: forward-link duplication probability.
+    pub dup_p: f64,
+    /// `--fault-cab-alloc`: CAB netmem allocation-failure probability.
+    pub cab_alloc_fail_p: f64,
+    /// `--fault-cab-sdma`: CAB SDMA transfer-failure probability.
+    pub cab_sdma_fail_p: f64,
+    /// `--fault-cab-mdma`: CAB MDMA transfer-failure probability.
+    pub cab_mdma_fail_p: f64,
+    /// `--fault-cab-wedge`: probability a failed transfer wedges an engine.
+    pub cab_wedge_p: f64,
+    /// `--fault-cab-csum`: probability of a miscomputed outboard checksum.
+    pub cab_csum_error_p: f64,
+}
+
+impl FaultArgs {
+    /// Copy the knobs into an experiment configuration.
+    pub fn apply(&self, cfg: &mut ExperimentConfig) {
+        cfg.drop_p = self.drop_p;
+        cfg.corrupt_p = self.corrupt_p;
+        cfg.reorder_p = self.reorder_p;
+        cfg.dup_p = self.dup_p;
+        cfg.cab_alloc_fail_p = self.cab_alloc_fail_p;
+        cfg.cab_sdma_fail_p = self.cab_sdma_fail_p;
+        cfg.cab_mdma_fail_p = self.cab_mdma_fail_p;
+        cfg.cab_wedge_p = self.cab_wedge_p;
+        cfg.cab_csum_error_p = self.cab_csum_error_p;
+    }
+
+    /// True when any knob is non-zero (used to annotate figure headers).
+    pub fn any(&self) -> bool {
+        *self != FaultArgs::default()
+    }
+}
+
+/// Parse the shared `--fault-*` flags (`--fault-drop 0.05` or
+/// `--fault-drop=0.05`). Unknown flags are left for the binary; a malformed
+/// probability aborts with a message rather than silently running fault-free.
+pub fn fault_args() -> FaultArgs {
+    let mut f = FaultArgs::default();
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let (flag, inline) = match argv[i].split_once('=') {
+            Some((name, val)) => (name, Some(val.to_string())),
+            None => (argv[i].as_str(), None),
+        };
+        let slot = match flag {
+            "--fault-drop" => Some(0),
+            "--fault-corrupt" => Some(1),
+            "--fault-reorder" => Some(2),
+            "--fault-dup" => Some(3),
+            "--fault-cab-alloc" => Some(4),
+            "--fault-cab-sdma" => Some(5),
+            "--fault-cab-mdma" => Some(6),
+            "--fault-cab-wedge" => Some(7),
+            "--fault-cab-csum" => Some(8),
+            _ => None,
+        };
+        let Some(slot) = slot else {
+            i += 1;
+            continue;
+        };
+        let val = match inline {
+            Some(v) => v,
+            None => {
+                i += 1;
+                argv.get(i).cloned().unwrap_or_default()
+            }
+        };
+        let p: f64 = match val.parse() {
+            Ok(p) if (0.0..=1.0).contains(&p) => p,
+            _ => {
+                eprintln!("{flag} needs a probability in [0, 1], got {val:?}");
+                std::process::exit(2);
+            }
+        };
+        match slot {
+            0 => f.drop_p = p,
+            1 => f.corrupt_p = p,
+            2 => f.reorder_p = p,
+            3 => f.dup_p = p,
+            4 => f.cab_alloc_fail_p = p,
+            5 => f.cab_sdma_fail_p = p,
+            6 => f.cab_mdma_fail_p = p,
+            7 => f.cab_wedge_p = p,
+            _ => f.cab_csum_error_p = p,
+        }
+        i += 1;
+    }
+    f
 }
 
 /// Render and persist a full metrics snapshot for one representative run.

@@ -20,6 +20,7 @@
 
 use crate::config::CabConfig;
 use crate::engine::EngineTimeline;
+use crate::fault::{FaultInjector, TransferFault};
 use crate::netmem::{NetworkMemory, PacketId};
 use bytes::Bytes;
 use outboard_host::{MemFault, TaskId, UserMemory};
@@ -197,6 +198,20 @@ pub enum CabError {
     BadRequest(&'static str),
     /// A user-memory access faulted (unpinned/bad address).
     MemFault(MemFault),
+    /// A transfer failed transiently (bus parity, microcode hiccup); the
+    /// driver may retry the request.
+    DmaError(&'static str),
+    /// The named engine is wedged: it accepts nothing further until the
+    /// driver resets the board.
+    EngineWedged(&'static str),
+}
+
+impl CabError {
+    /// Is this a transient condition a bounded retry can clear (as opposed
+    /// to a malformed request or a wedged engine)?
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CabError::DmaError(_))
+    }
 }
 
 impl std::fmt::Display for CabError {
@@ -205,6 +220,8 @@ impl std::fmt::Display for CabError {
             CabError::UnknownPacket(id) => write!(f, "unknown packet {id:?}"),
             CabError::BadRequest(s) => write!(f, "bad request: {s}"),
             CabError::MemFault(m) => write!(f, "{m}"),
+            CabError::DmaError(s) => write!(f, "transient dma error: {s}"),
+            CabError::EngineWedged(e) => write!(f, "{e} engine wedged"),
         }
     }
 }
@@ -232,6 +249,10 @@ pub struct CabStats {
     pub body_csum_reuses: u64,
     /// Small receives satisfied entirely by the auto-DMA buffer.
     pub autodma_only_rx: u64,
+    /// Received frames dropped because an engine was wedged.
+    pub rx_dropped_wedged: u64,
+    /// Board resets performed by the driver's watchdog.
+    pub resets: u64,
 }
 
 /// One CAB adaptor.
@@ -249,6 +270,8 @@ pub struct Cab {
     /// Frames transmitted per MAC logical channel (queue-depth proxy for the
     /// HOL analysis in §6: which channels the traffic actually spread over).
     pub per_channel_tx: BTreeMap<u16, u64>,
+    /// Adaptor-side fault injection (transparent by default).
+    pub faults: FaultInjector,
 }
 
 impl Cab {
@@ -264,6 +287,7 @@ impl Cab {
             mdma_rx: EngineTimeline::new(),
             stats: CabStats::default(),
             per_channel_tx: BTreeMap::new(),
+            faults: FaultInjector::none(u64::from(addr)),
         }
     }
 
@@ -279,7 +303,34 @@ impl Cab {
 
     /// Host command: allocate a packet buffer for a fully-formed packet.
     pub fn alloc_packet(&mut self, len: usize) -> Option<PacketId> {
+        if len > 0 && self.faults.alloc_fails() {
+            return None;
+        }
         self.netmem.alloc(len)
+    }
+
+    /// Board reset (the driver's watchdog response to a wedged engine):
+    /// clear all engine wedges and drop every outboard buffer. Returns the
+    /// number of packet buffers released. Unacknowledged transmit data
+    /// survives on the host — the retention rule the paper prescribes — so
+    /// the driver rebuilds transmit from the socket send queues afterwards.
+    pub fn reset(&mut self) -> usize {
+        self.sdma.clear_wedge();
+        self.mdma_tx.clear_wedge();
+        self.mdma_rx.clear_wedge();
+        self.stats.resets += 1;
+        self.netmem.free_all()
+    }
+
+    /// Is any DMA engine wedged (watchdog / probe check)?
+    pub fn any_engine_wedged(&self) -> bool {
+        self.sdma.is_wedged() || self.mdma_tx.is_wedged() || self.mdma_rx.is_wedged()
+    }
+
+    /// Temporarily withhold `reserved_pages` of network memory from the
+    /// allocator (capacity squeeze). Pass 0 to restore full capacity.
+    pub fn squeeze_netmem(&mut self, reserved_pages: usize) {
+        self.netmem.set_reserved_pages(reserved_pages);
     }
 
     /// Host command: free a packet buffer (on TCP acknowledgement or after
@@ -318,6 +369,9 @@ impl Cab {
         now: Time,
         mem: &dyn UserMemory,
     ) -> Result<CabEvent, CabError> {
+        if self.sdma.is_wedged() {
+            return Err(CabError::EngineWedged("sdma"));
+        }
         // Word alignment is a hard device rule (§4.5): the single-copy path
         // may only be used for word-aligned user buffers. (Lengths may be
         // ragged — the engine pads the final burst — but start addresses
@@ -330,11 +384,13 @@ impl Cab {
             }
         }
         let total: usize = req.sg.iter().map(|e| e.len()).sum();
-        let pkt_cap = self
-            .netmem
-            .get(req.packet)
-            .ok_or(CabError::UnknownPacket(req.packet))?
-            .cap;
+        let (pkt_cap, pkt_valid, pkt_saved_csum) = {
+            let p = self
+                .netmem
+                .get(req.packet)
+                .ok_or(CabError::UnknownPacket(req.packet))?;
+            (p.cap, p.valid, p.saved_body_csum)
+        };
 
         if req.reuse_body_csum {
             let spec = req
@@ -345,13 +401,7 @@ impl Cab {
                     "retransmit sg must cover only the skipped header words",
                 ));
             }
-            if self
-                .netmem
-                .get(req.packet)
-                .unwrap()
-                .saved_body_csum
-                .is_none()
-            {
+            if pkt_saved_csum.is_none() {
                 return Err(CabError::BadRequest("no saved body checksum to reuse"));
             }
         } else if total != pkt_cap {
@@ -359,6 +409,31 @@ impl Cab {
             return Err(CabError::BadRequest(
                 "sg total must fill the packet buffer exactly",
             ));
+        }
+        if let Some(spec) = req.csum {
+            // Validate the spec before any bytes move so an error never
+            // leaves a half-written packet behind.
+            let new_valid = if req.reuse_body_csum {
+                pkt_valid
+            } else {
+                total
+            };
+            if spec.csum_offset + 2 > new_valid || spec.skip_words * 4 > new_valid {
+                return Err(CabError::BadRequest("checksum spec outside packet"));
+            }
+        }
+
+        // Injected fault draw: after validation (malformed requests never
+        // reach the engine), before any state is committed.
+        match self.faults.sdma_fate() {
+            Some(TransferFault::Wedge) => {
+                self.sdma.wedge();
+                return Err(CabError::EngineWedged("sdma"));
+            }
+            Some(TransferFault::Error) => {
+                return Err(CabError::DmaError("sdma transfer fault"));
+            }
+            None => {}
         }
 
         // Gather the bytes.
@@ -383,19 +458,22 @@ impl Cab {
         let done = self.sdma.run(now, extra, total, self.cfg.sdma_bps());
 
         // Commit to network memory and run the checksum engine.
-        let pkt = self.netmem.get_mut(req.packet).unwrap();
+        let pkt = self
+            .netmem
+            .get_mut(req.packet)
+            .ok_or(CabError::UnknownPacket(req.packet))?;
         pkt.data[..total].copy_from_slice(&staged);
         if !req.reuse_body_csum {
             pkt.valid = total;
         }
         if let Some(spec) = req.csum {
             let skip = spec.skip_words * 4;
-            if spec.csum_offset + 2 > pkt.valid || skip > pkt.valid {
-                return Err(CabError::BadRequest("checksum spec outside packet"));
-            }
             let body_sum = if req.reuse_body_csum {
                 self.stats.body_csum_reuses += 1;
-                pkt.saved_body_csum.unwrap()
+                match pkt.saved_body_csum {
+                    Some(s) => s,
+                    None => return Err(CabError::BadRequest("no saved body checksum to reuse")),
+                }
             } else {
                 let mut acc = Accumulator::new();
                 acc.add_bytes(&pkt.data[skip..pkt.valid]);
@@ -405,7 +483,13 @@ impl Cab {
             };
             let seed =
                 u16::from_be_bytes([pkt.data[spec.csum_offset], pkt.data[spec.csum_offset + 1]]);
-            let final_csum = !fold(seed as u32 + body_sum as u32);
+            let mut final_csum = !fold(seed as u32 + body_sum as u32);
+            // An injected checksum-engine fault inserts a wrong sum; the
+            // receiver's verification catches it and the transport recovers
+            // by retransmission.
+            if self.faults.csum_miscomputes() {
+                final_csum ^= 0x5555;
+            }
             pkt.data[spec.csum_offset..spec.csum_offset + 2]
                 .copy_from_slice(&final_csum.to_be_bytes());
         }
@@ -427,6 +511,9 @@ impl Cab {
         now: Time,
         mem: &mut dyn UserMemory,
     ) -> Result<CabEvent, CabError> {
+        if self.sdma.is_wedged() {
+            return Err(CabError::EngineWedged("sdma"));
+        }
         if let SdmaDst::User { vaddr, .. } = req.dst {
             if vaddr % 4 != 0 {
                 return Err(CabError::BadRequest("user destination not word aligned"));
@@ -439,6 +526,19 @@ impl Cab {
         if req.src_off + req.len > pkt.valid {
             return Err(CabError::BadRequest("copy-out beyond valid packet data"));
         }
+        match self.faults.sdma_fate() {
+            Some(TransferFault::Wedge) => {
+                self.sdma.wedge();
+                return Err(CabError::EngineWedged("sdma"));
+            }
+            Some(TransferFault::Error) => {
+                return Err(CabError::DmaError("sdma copy-out fault"));
+            }
+            None => {}
+        }
+        let Some(pkt) = self.netmem.get(req.packet) else {
+            return Err(CabError::UnknownPacket(req.packet));
+        };
         let mut buf = vec![0u8; req.len];
         buf.copy_from_slice(&pkt.data[req.src_off..req.src_off + req.len]);
 
@@ -485,6 +585,9 @@ impl Cab {
         now: Time,
         free_after: bool,
     ) -> Result<CabEvent, CabError> {
+        if self.mdma_tx.is_wedged() {
+            return Err(CabError::EngineWedged("mdma_tx"));
+        }
         let pkt = self
             .netmem
             .get(packet)
@@ -493,6 +596,16 @@ impl Cab {
             return Err(CabError::BadRequest("mdma of empty packet"));
         }
         let frame = Bytes::copy_from_slice(&pkt.data[..pkt.valid]);
+        match self.faults.mdma_fate() {
+            Some(TransferFault::Wedge) => {
+                self.mdma_tx.wedge();
+                return Err(CabError::EngineWedged("mdma_tx"));
+            }
+            Some(TransferFault::Error) => {
+                return Err(CabError::DmaError("mdma transfer fault"));
+            }
+            None => {}
+        }
         let done = self.mdma_tx.run(
             now,
             Dur::from_micros_f64(self.cfg.mdma_setup_us),
@@ -518,7 +631,21 @@ impl Cab {
     /// and raise the receive interrupt (§2.2).
     pub fn receive_frame(&mut self, frame: Bytes, now: Time) -> CabEvent {
         let len = frame.len();
-        let Some(id) = self.netmem.alloc(len) else {
+        // A wedged engine cannot move the frame off the media; the frame is
+        // lost and the transport recovers by retransmission.
+        if self.sdma.is_wedged() || self.mdma_rx.is_wedged() {
+            self.stats.rx_dropped_wedged += 1;
+            return CabEvent::RxDropped {
+                at: now,
+                frame_len: len,
+            };
+        }
+        let id = if self.faults.alloc_fails() {
+            None
+        } else {
+            self.netmem.alloc(len)
+        };
+        let Some(id) = id else {
             self.stats.rx_dropped_nomem += 1;
             return CabEvent::RxDropped {
                 at: now,
@@ -534,10 +661,17 @@ impl Cab {
             0, // serialization paid on the link; setup only
             self.cfg.media_bps(),
         );
-        {
-            let pkt = self.netmem.get_mut(id).unwrap();
+        if let Some(pkt) = self.netmem.get_mut(id) {
             pkt.data[..len].copy_from_slice(&frame);
             pkt.valid = len;
+        } else {
+            // Freshly allocated above; only reachable if the board is being
+            // reset underneath us — treat the frame as lost.
+            self.stats.rx_dropped_nomem += 1;
+            return CabEvent::RxDropped {
+                at: now,
+                frame_len: len,
+            };
         }
         // Hardware receive checksum from the fixed word offset (§4.3).
         let skip = (self.cfg.rx_csum_skip_words * 4).min(len);
@@ -614,6 +748,11 @@ impl Cab {
         s.counter("netmem.allocs", nm.allocs());
         s.counter("netmem.alloc_failures", nm.alloc_failures());
         s.counter("netmem.frees", nm.frees());
+        s.gauge(
+            "netmem.pages_reserved",
+            nm.reserved_pages() as i64,
+            nm.reserved_pages() as i64,
+        );
 
         s.counter("frames_tx", self.stats.frames_tx);
         s.counter("frames_rx", self.stats.frames_rx);
@@ -624,6 +763,9 @@ impl Cab {
         s.counter("rx_dropped_nomem", self.stats.rx_dropped_nomem);
         s.counter("body_csum_reuses", self.stats.body_csum_reuses);
         s.counter("autodma_only_rx", self.stats.autodma_only_rx);
+        s.counter("rx_dropped_wedged", self.stats.rx_dropped_wedged);
+        s.counter("resets", self.stats.resets);
+        self.faults.publish_metrics(s);
         for (ch, n) in &self.per_channel_tx {
             s.counter(&format!("channel.{ch}.frames_tx"), *n);
         }

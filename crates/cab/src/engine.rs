@@ -22,6 +22,7 @@ pub struct EngineTimeline {
     pub requests: u64,
     /// Payload bytes moved.
     pub bytes: u64,
+    wedged: bool,
 }
 
 impl EngineTimeline {
@@ -46,6 +47,21 @@ impl EngineTimeline {
         self.requests += 1;
         self.bytes += bytes as u64;
         self.timeline.occupy(now, setup + xfer)
+    }
+
+    /// Wedge the engine: it accepts no further requests until reset.
+    pub fn wedge(&mut self) {
+        self.wedged = true;
+    }
+
+    /// Clear a wedge (board reset).
+    pub fn clear_wedge(&mut self) {
+        self.wedged = false;
+    }
+
+    /// Is the engine wedged?
+    pub fn is_wedged(&self) -> bool {
+        self.wedged
     }
 
     /// Cumulative busy time.

@@ -1,0 +1,294 @@
+//! Adaptor-side fault injection.
+//!
+//! The links already fail (`netsim::fault`); this module makes the CAB
+//! itself a fault domain. A seeded [`FaultInjector`] can fail SDMA/MDMA
+//! transfers, wedge an engine (stuck until the driver resets the board),
+//! miscompute the outboard checksum, and force network-memory allocation
+//! failures. It mirrors the netsim injector's shape: probabilistic knobs
+//! plus `force_*_next` queues for hitting exact protocol states in tests.
+//!
+//! Like the link injector, every draw comes from a private seeded
+//! [`Pcg32`], and the RNG is only consulted when a probability is nonzero,
+//! so a transparent injector perturbs nothing.
+
+use outboard_sim::obs::Scope;
+use outboard_sim::Pcg32;
+use std::collections::VecDeque;
+
+/// How an injected transfer fault manifests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransferFault {
+    /// The transfer fails with a transient, retryable error.
+    Error,
+    /// The engine wedges: this request and all later ones are stuck until
+    /// the driver resets the board.
+    Wedge,
+}
+
+/// What the injector has done so far, cumulatively.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// SDMA requests presented to the injector.
+    pub sdma_offered: u64,
+    /// SDMA requests failed transiently.
+    pub sdma_failed: u64,
+    /// MDMA requests presented to the injector.
+    pub mdma_offered: u64,
+    /// MDMA requests failed transiently.
+    pub mdma_failed: u64,
+    /// Engine wedges injected.
+    pub wedges: u64,
+    /// Outboard checksums miscomputed.
+    pub csum_miscomputed: u64,
+    /// Network-memory allocations forced to fail.
+    pub alloc_failed: u64,
+}
+
+/// Seeded, deterministic fault injector for one CAB.
+#[derive(Debug)]
+pub struct FaultInjector {
+    /// Probability an SDMA transfer fails transiently.
+    pub sdma_fail_p: f64,
+    /// Probability an MDMA transfer fails transiently.
+    pub mdma_fail_p: f64,
+    /// Probability a transfer wedges its engine instead of completing.
+    pub wedge_p: f64,
+    /// Probability the outboard checksum engine miscomputes (the inserted
+    /// checksum is wrong; the receiver's verification catches it).
+    pub csum_error_p: f64,
+    /// Probability a network-memory allocation fails even when pages are
+    /// free.
+    pub alloc_fail_p: f64,
+    rng: Pcg32,
+    forced_sdma: VecDeque<TransferFault>,
+    forced_mdma: VecDeque<TransferFault>,
+    forced_csum: u32,
+    forced_alloc: u32,
+    /// Cumulative injection counts.
+    pub stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// A transparent injector (no faults).
+    pub fn none(seed: u64) -> FaultInjector {
+        FaultInjector {
+            sdma_fail_p: 0.0,
+            mdma_fail_p: 0.0,
+            wedge_p: 0.0,
+            csum_error_p: 0.0,
+            alloc_fail_p: 0.0,
+            rng: Pcg32::new(seed),
+            forced_sdma: VecDeque::new(),
+            forced_mdma: VecDeque::new(),
+            forced_csum: 0,
+            forced_alloc: 0,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// An injector with the given transfer-failure and allocation-failure
+    /// probabilities.
+    pub fn flaky(seed: u64, dma_fail_p: f64, alloc_fail_p: f64) -> FaultInjector {
+        let mut f = FaultInjector::none(seed);
+        f.sdma_fail_p = dma_fail_p;
+        f.mdma_fail_p = dma_fail_p;
+        f.alloc_fail_p = alloc_fail_p;
+        f
+    }
+
+    /// Force the next `count` SDMA transfers to fail transiently.
+    pub fn force_sdma_fail_next(&mut self, count: usize) {
+        for _ in 0..count {
+            self.forced_sdma.push_back(TransferFault::Error);
+        }
+    }
+
+    /// Force the next SDMA transfer to wedge the engine.
+    pub fn force_sdma_wedge_next(&mut self) {
+        self.forced_sdma.push_back(TransferFault::Wedge);
+    }
+
+    /// Force the next `count` MDMA transfers to fail transiently.
+    pub fn force_mdma_fail_next(&mut self, count: usize) {
+        for _ in 0..count {
+            self.forced_mdma.push_back(TransferFault::Error);
+        }
+    }
+
+    /// Force the next MDMA transfer to wedge the engine.
+    pub fn force_mdma_wedge_next(&mut self) {
+        self.forced_mdma.push_back(TransferFault::Wedge);
+    }
+
+    /// Force the next outboard checksum to be miscomputed.
+    pub fn force_csum_error_next(&mut self) {
+        self.forced_csum += 1;
+    }
+
+    /// Force the next `count` network-memory allocations to fail.
+    pub fn force_alloc_fail_next(&mut self, count: usize) {
+        self.forced_alloc += count as u32;
+    }
+
+    /// Draw the fate of one SDMA transfer.
+    pub fn sdma_fate(&mut self) -> Option<TransferFault> {
+        self.stats.sdma_offered += 1;
+        if let Some(forced) = self.forced_sdma.pop_front() {
+            return Some(self.count_transfer(forced, true));
+        }
+        if self.wedge_p > 0.0 && self.rng.chance(self.wedge_p) {
+            return Some(self.count_transfer(TransferFault::Wedge, true));
+        }
+        if self.sdma_fail_p > 0.0 && self.rng.chance(self.sdma_fail_p) {
+            return Some(self.count_transfer(TransferFault::Error, true));
+        }
+        None
+    }
+
+    /// Draw the fate of one MDMA transfer.
+    pub fn mdma_fate(&mut self) -> Option<TransferFault> {
+        self.stats.mdma_offered += 1;
+        if let Some(forced) = self.forced_mdma.pop_front() {
+            return Some(self.count_transfer(forced, false));
+        }
+        if self.wedge_p > 0.0 && self.rng.chance(self.wedge_p) {
+            return Some(self.count_transfer(TransferFault::Wedge, false));
+        }
+        if self.mdma_fail_p > 0.0 && self.rng.chance(self.mdma_fail_p) {
+            return Some(self.count_transfer(TransferFault::Error, false));
+        }
+        None
+    }
+
+    fn count_transfer(&mut self, fault: TransferFault, sdma: bool) -> TransferFault {
+        match fault {
+            TransferFault::Error if sdma => self.stats.sdma_failed += 1,
+            TransferFault::Error => self.stats.mdma_failed += 1,
+            TransferFault::Wedge => self.stats.wedges += 1,
+        }
+        fault
+    }
+
+    /// Should this checksum insertion be miscomputed?
+    pub fn csum_miscomputes(&mut self) -> bool {
+        if self.forced_csum > 0 {
+            self.forced_csum -= 1;
+            self.stats.csum_miscomputed += 1;
+            return true;
+        }
+        if self.csum_error_p > 0.0 && self.rng.chance(self.csum_error_p) {
+            self.stats.csum_miscomputed += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Should this network-memory allocation fail?
+    pub fn alloc_fails(&mut self) -> bool {
+        if self.forced_alloc > 0 {
+            self.forced_alloc -= 1;
+            self.stats.alloc_failed += 1;
+            return true;
+        }
+        if self.alloc_fail_p > 0.0 && self.rng.chance(self.alloc_fail_p) {
+            self.stats.alloc_failed += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Publish cumulative injection counters into a registry scope.
+    pub fn publish_metrics(&self, s: &mut Scope<'_>) {
+        let f = &self.stats;
+        s.counter("faults.sdma_offered", f.sdma_offered);
+        s.counter("faults.sdma_failed", f.sdma_failed);
+        s.counter("faults.mdma_offered", f.mdma_offered);
+        s.counter("faults.mdma_failed", f.mdma_failed);
+        s.counter("faults.wedges", f.wedges);
+        s.counter("faults.csum_miscomputed", f.csum_miscomputed);
+        s.counter("faults.alloc_failed", f.alloc_failed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transparent_injector_injects_nothing() {
+        let mut f = FaultInjector::none(1);
+        for _ in 0..1000 {
+            assert_eq!(f.sdma_fate(), None);
+            assert_eq!(f.mdma_fate(), None);
+            assert!(!f.csum_miscomputes());
+            assert!(!f.alloc_fails());
+        }
+        assert_eq!(
+            f.stats,
+            FaultStats {
+                sdma_offered: 1000,
+                mdma_offered: 1000,
+                ..FaultStats::default()
+            }
+        );
+    }
+
+    #[test]
+    fn forced_faults_win_then_clear() {
+        let mut f = FaultInjector::none(2);
+        f.force_sdma_fail_next(2);
+        f.force_sdma_wedge_next();
+        assert_eq!(f.sdma_fate(), Some(TransferFault::Error));
+        assert_eq!(f.sdma_fate(), Some(TransferFault::Error));
+        assert_eq!(f.sdma_fate(), Some(TransferFault::Wedge));
+        assert_eq!(f.sdma_fate(), None);
+        f.force_mdma_fail_next(1);
+        assert_eq!(f.mdma_fate(), Some(TransferFault::Error));
+        assert_eq!(f.mdma_fate(), None);
+        f.force_csum_error_next();
+        assert!(f.csum_miscomputes());
+        assert!(!f.csum_miscomputes());
+        f.force_alloc_fail_next(1);
+        assert!(f.alloc_fails());
+        assert!(!f.alloc_fails());
+        assert_eq!(f.stats.sdma_failed, 2);
+        assert_eq!(f.stats.wedges, 1);
+        assert_eq!(f.stats.mdma_failed, 1);
+        assert_eq!(f.stats.csum_miscomputed, 1);
+        assert_eq!(f.stats.alloc_failed, 1);
+    }
+
+    #[test]
+    fn probabilities_roughly_honored() {
+        let mut f = FaultInjector::flaky(3, 0.25, 0.1);
+        let mut sdma_fails = 0;
+        let mut alloc_fails = 0;
+        for _ in 0..10_000 {
+            if f.sdma_fate() == Some(TransferFault::Error) {
+                sdma_fails += 1;
+            }
+            if f.alloc_fails() {
+                alloc_fails += 1;
+            }
+        }
+        let sdma_rate = sdma_fails as f64 / 10_000.0;
+        let alloc_rate = alloc_fails as f64 / 10_000.0;
+        assert!((0.22..0.28).contains(&sdma_rate), "sdma rate {sdma_rate}");
+        assert!(
+            (0.08..0.12).contains(&alloc_rate),
+            "alloc rate {alloc_rate}"
+        );
+    }
+
+    #[test]
+    fn deterministic_stream() {
+        let run = |seed| {
+            let mut f = FaultInjector::flaky(seed, 0.5, 0.5);
+            (0..64)
+                .map(|_| (f.sdma_fate().is_some(), f.alloc_fails()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(10), run(10));
+        assert_ne!(run(10), run(11));
+    }
+}

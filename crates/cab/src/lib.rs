@@ -15,7 +15,11 @@
 //!   **auto-DMA buffers** and hardware receive checksums, packet
 //!   alloc/free commands, and interrupt raising,
 //! * [`mac`] — media access control: FIFO versus **logical channels**
-//!   (§2.1), used by the head-of-line-blocking experiment.
+//!   (§2.1), used by the head-of-line-blocking experiment,
+//! * [`fault`] — seeded adaptor-side **fault injection**: transient
+//!   SDMA/MDMA failures, engine wedges, checksum miscomputations, and
+//!   allocation failures, exercising the driver's "transient
+//!   out-of-resources" recovery paths.
 //!
 //! The model moves real bytes (checksums are computed over actual packet
 //! contents) while engine occupancy advances virtual time according to the
@@ -26,10 +30,12 @@
 pub mod cab;
 pub mod config;
 pub mod engine;
+pub mod fault;
 pub mod mac;
 pub mod netmem;
 
 pub use cab::{Cab, CabError, CabEvent, CabStats, ChecksumSpec, SdmaDst, SdmaRx, SdmaTx, SgEntry};
 pub use config::CabConfig;
+pub use fault::{FaultInjector as CabFaultInjector, TransferFault};
 pub use mac::{HolResult, HolSim, MacMode, MacModel};
 pub use netmem::{NetworkMemory, PacketId};

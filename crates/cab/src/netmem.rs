@@ -40,6 +40,7 @@ pub struct NetworkMemory {
     allocs: u64,
     alloc_failures: u64,
     frees: u64,
+    reserved_pages: usize,
     packets: HashMap<PacketId, PacketBuf>,
     next_id: u64,
 }
@@ -56,6 +57,7 @@ impl NetworkMemory {
             allocs: 0,
             alloc_failures: 0,
             frees: 0,
+            reserved_pages: 0,
             packets: HashMap::new(),
             next_id: 1,
         }
@@ -96,6 +98,29 @@ impl NetworkMemory {
         self.packets.len()
     }
 
+    /// Pages withheld from the allocator (capacity squeeze).
+    pub fn reserved_pages(&self) -> usize {
+        self.reserved_pages
+    }
+
+    /// Withhold `pages` from the allocator, temporarily shrinking the pool.
+    /// Already-allocated buffers are untouched; new allocations only see
+    /// `pages_free - reserved` pages. Pass 0 to restore full capacity.
+    pub fn set_reserved_pages(&mut self, pages: usize) {
+        self.reserved_pages = pages.min(self.pages_total);
+    }
+
+    /// Free every live packet buffer (board reset drops all outboard
+    /// state). Returns the number of buffers released.
+    pub fn free_all(&mut self) -> usize {
+        let n = self.packets.len();
+        for (_, p) in self.packets.drain() {
+            self.pages_free += p.pages;
+            self.frees += 1;
+        }
+        n
+    }
+
     /// Allocate a page-aligned packet buffer of `len` bytes. Returns `None`
     /// when the pool cannot satisfy the request.
     pub fn alloc(&mut self, len: usize) -> Option<PacketId> {
@@ -103,7 +128,7 @@ impl NetworkMemory {
             return None;
         }
         let pages = len.div_ceil(self.page_size);
-        if pages > self.pages_free {
+        if pages > self.pages_free.saturating_sub(self.reserved_pages) {
             self.alloc_failures += 1;
             return None;
         }

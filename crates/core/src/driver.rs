@@ -15,10 +15,11 @@
 //! * `Loopback` — frames re-injected into the same kernel.
 
 use crate::types::{SockAddr, SockId};
-use outboard_cab::{Cab, PacketId};
+use outboard_cab::{Cab, ChecksumSpec, PacketId, SgEntry};
+use outboard_sim::obs::Scope;
 use outboard_wire::ether::MacAddr;
 use outboard_wire::hippi::HippiAddr;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
 
 /// Why an SDMA request was issued; consulted on its completion interrupt.
@@ -63,6 +64,96 @@ pub enum SdmaPurpose {
     },
 }
 
+/// A transmission parked after a transient failure, waiting for the
+/// retry-backoff timer. The paper's driver treats outboard exhaustion as a
+/// "transient out-of-resources condition"; these entries are how the
+/// condition stays transient instead of becoming a silent drop.
+#[derive(Clone, Debug)]
+pub enum PendingTx {
+    /// The copy-in (SDMA) itself failed or network memory was exhausted:
+    /// everything needed to rebuild the request from scratch. User-memory
+    /// scatter/gather entries stay valid because the data is retained in
+    /// the socket send queue (and its pages stay pinned) until completion.
+    Sdma {
+        /// Full frame length (header + data).
+        frame_len: usize,
+        /// Scatter/gather list, header first.
+        sg: Vec<SgEntry>,
+        /// Outboard checksum insertion spec, when hardware checksumming.
+        csum: Option<ChecksumSpec>,
+        /// Destination fabric address.
+        dst: HippiAddr,
+        /// Logical channel.
+        channel: u16,
+        /// Completion purpose (its `packet` field is rewritten on re-alloc).
+        purpose: SdmaPurpose,
+        /// Free the outboard buffer right after the media transfer.
+        free_after_mdma: bool,
+        /// Payload bytes in the frame.
+        data_len: usize,
+        /// Header bytes in front of the payload.
+        hdr_len: usize,
+    },
+    /// The copy-in succeeded but the media transfer failed: the packet sits
+    /// complete in network memory, only the MDMA needs re-issuing.
+    Mdma {
+        /// The outboard packet to put on the media.
+        packet: PacketId,
+        /// Destination fabric address.
+        dst: HippiAddr,
+        /// Logical channel.
+        channel: u16,
+        /// Free the outboard buffer after the media transfer.
+        free_after: bool,
+    },
+}
+
+/// Robustness counters for one CAB interface's driver.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DriverFaultStats {
+    /// Transmissions re-attempted from the retry queue.
+    pub tx_retries: u64,
+    /// Cumulative backoff time spent between retry rounds, microseconds.
+    pub backoff_us: u64,
+    /// Transitions into degraded (traditional-path) mode.
+    pub degraded_entries: u64,
+    /// Transitions back to the single-copy path.
+    pub degraded_exits: u64,
+    /// Payload bytes sent through the traditional path while degraded.
+    pub fallback_bytes: u64,
+    /// Watchdog board resets.
+    pub watchdog_resets: u64,
+    /// Parked transmissions abandoned to TCP recovery when retries ran out.
+    pub abandoned_tx: u64,
+    /// Receive copy-outs completed by programmed I/O after a DMA error.
+    pub pio_fallbacks: u64,
+    /// Outboard bytes rescued into host mbufs during a watchdog reset.
+    pub rescued_bytes: u64,
+}
+
+/// Driver-level health state for one CAB interface: degraded-mode flag,
+/// retry backoff, and watchdog bookkeeping.
+#[derive(Debug, Default)]
+pub struct IfaceHealth {
+    /// Interface is on the traditional path (host mbuf buffering +
+    /// software checksum) until a probe finds the adaptor healthy again.
+    pub degraded: bool,
+    /// Retry-backoff timer armed.
+    pub retry_armed: bool,
+    /// Consecutive unsuccessful retry rounds (drives the backoff exponent).
+    pub retry_round: u32,
+    /// Generation for ignoring stale retry firings.
+    pub retry_gen: u64,
+    /// Watchdog timer armed.
+    pub watchdog_armed: bool,
+    /// Generation for ignoring stale watchdog firings.
+    pub watchdog_gen: u64,
+    /// Generation for ignoring stale probe firings.
+    pub probe_gen: u64,
+    /// Robustness counters.
+    pub stats: DriverFaultStats,
+}
+
 /// CAB driver state for one interface.
 #[derive(Debug)]
 pub struct CabIface {
@@ -82,6 +173,10 @@ pub struct CabIface {
     pub tx_remaining: HashMap<PacketId, usize>,
     /// Transmit packets' header length (for retransmission geometry).
     pub tx_hdr_len: HashMap<PacketId, usize>,
+    /// Transmissions parked for the retry-backoff timer.
+    pub retry_q: VecDeque<PendingTx>,
+    /// Degraded-mode / retry / watchdog state.
+    pub health: IfaceHealth,
 }
 
 impl CabIface {
@@ -97,7 +192,25 @@ impl CabIface {
             rx_remaining: HashMap::new(),
             tx_remaining: HashMap::new(),
             tx_hdr_len: HashMap::new(),
+            retry_q: VecDeque::new(),
+            health: IfaceHealth::default(),
         }
+    }
+
+    /// Publish the driver's robustness counters into a registry scope.
+    pub fn publish_driver_metrics(&self, s: &mut Scope<'_>) {
+        let d = &self.health.stats;
+        s.counter("drv.tx_retries", d.tx_retries);
+        s.counter("drv.backoff_us", d.backoff_us);
+        s.counter("drv.degraded_entries", d.degraded_entries);
+        s.counter("drv.degraded_exits", d.degraded_exits);
+        s.counter("drv.fallback_bytes", d.fallback_bytes);
+        s.counter("drv.watchdog_resets", d.watchdog_resets);
+        s.counter("drv.abandoned_tx", d.abandoned_tx);
+        s.counter("drv.pio_fallbacks", d.pio_fallbacks);
+        s.counter("drv.rescued_bytes", d.rescued_bytes);
+        s.counter("drv.degraded", u64::from(self.health.degraded));
+        s.counter("drv.retry_queue_depth", self.retry_q.len() as u64);
     }
 
     /// Allocate a completion token for a request with the given purpose.
@@ -111,6 +224,25 @@ impl CabIface {
     /// Resolve a completion token.
     pub fn complete(&mut self, token: u64) -> Option<SdmaPurpose> {
         self.pending.remove(&token)
+    }
+
+    /// Drop every pending transmit-conversion token (watchdog reset path):
+    /// their completions must not rewrite send-queue ranges toward outboard
+    /// buffers the reset is about to free. Receive completions carry their
+    /// data in the event itself and stay pending. Tokens are drained in
+    /// sorted order so the reset is deterministic.
+    pub fn drop_pending_tx(&mut self) -> Vec<SdmaPurpose> {
+        let mut tokens: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| matches!(p, SdmaPurpose::TxSegment { .. }))
+            .map(|(t, _)| *t)
+            .collect();
+        tokens.sort_unstable();
+        tokens
+            .into_iter()
+            .filter_map(|t| self.pending.remove(&t))
+            .collect()
     }
 
     /// SDMA requests in flight.
@@ -175,9 +307,10 @@ pub struct Iface {
 
 impl Iface {
     /// Does this interface take the single-copy path (outboard buffering
-    /// and checksumming)?
+    /// and checksumming)? A degraded CAB answers no: the stack falls back
+    /// to the traditional path until a probe finds the adaptor healthy.
     pub fn single_copy_capable(&self) -> bool {
-        matches!(self.kind, IfaceKind::Cab(_))
+        matches!(&self.kind, IfaceKind::Cab(c) if !c.health.degraded)
     }
 
     /// Maximum TCP segment this interface supports.
@@ -246,6 +379,21 @@ mod tests {
         for dst in 0..100u32 {
             assert!((c.channel_for(dst) as usize) < c.cab.config().num_channels);
         }
+    }
+
+    #[test]
+    fn degraded_cab_loses_single_copy_capability() {
+        let mut iface = Iface {
+            id: IfaceId(0),
+            ip: Ipv4Addr::new(10, 0, 0, 1),
+            mtu: 32 * 1024,
+            kind: IfaceKind::Cab(Box::new(cab_iface())),
+        };
+        assert!(iface.single_copy_capable());
+        iface.cab().unwrap().health.degraded = true;
+        assert!(!iface.single_copy_capable());
+        iface.cab().unwrap().health.degraded = false;
+        assert!(iface.single_copy_capable());
     }
 
     #[test]

@@ -252,14 +252,26 @@ impl Kernel {
                         Ok(ev) => {
                             let data = match &ev {
                                 outboard_cab::CabEvent::SdmaDone { data, .. } => {
-                                    data.clone().expect("kernel copy-out returns bytes")
+                                    data.clone().unwrap_or_default()
                                 }
-                                _ => unreachable!(),
+                                _ => Bytes::new(),
                             };
                             k.fx.push(Effect::Cab { iface, event: ev });
                             data
                         }
-                        Err(e) => panic!("traditional receive copy-in: {e}"),
+                        Err(e) => {
+                            // Engine refused the copy-in: fall back to
+                            // programmed I/O so the packet still arrives.
+                            Kernel::watchdog_on_wedge(k, cab, iface, &e);
+                            cab.complete(token);
+                            let mut buf = vec![0u8; out_len];
+                            let _ = cab.cab.read_packet(packet, src_off, &mut buf);
+                            let cost = k.memsys.read_cost(out_len, out_len.max(4096));
+                            k.cpu_dur(cost, Charge::Interrupt);
+                            cab.cab.free_packet(packet);
+                            cab.health.stats.pio_fallbacks += 1;
+                            Bytes::from(buf)
+                        }
                     }
                 });
                 let m = Mbuf::kernel(data);
@@ -517,7 +529,9 @@ impl Kernel {
         let nagle = self.effective_nagle();
         let cfg = self.cfg.clone();
         let iss = self.next_iss();
-        let s = self.sockets.get_mut(&child).unwrap();
+        let Some(s) = self.sockets.get_mut(&child) else {
+            return child;
+        };
         s.local = Some(local);
         s.remote = Some(remote);
         s.iface_hint = Some(iface);
@@ -561,11 +575,10 @@ impl Kernel {
 
         // RST out for pathological segments.
         if let Some((seq, ack, flags)) = r.rst_out {
-            let (local, remote) = {
-                let s = &self.sockets[&sock];
-                (s.local.unwrap(), s.remote.unwrap())
-            };
-            self.emit_rst(local, remote, seq, ack, flags, mem, now);
+            let endpoints = self.sockets.get(&sock).and_then(|s| s.local.zip(s.remote));
+            if let Some((local, remote)) = endpoints {
+                self.emit_rst(local, remote, seq, ack, flags, mem, now);
+            }
         }
 
         // Newly acknowledged data: drop from so_snd, free outboard buffers.
@@ -627,13 +640,15 @@ impl Kernel {
             self.append_write_chunks(sock, mem, Charge::Interrupt, now);
             // Traditional-path writes complete once fully copied.
             let wake = {
-                let s = self.sockets.get_mut(&sock).unwrap();
-                match s.blocked_write {
-                    Some(bw) if !bw.uio_path && bw.appended == bw.total => {
-                        s.blocked_write = None;
-                        Some(bw.task)
-                    }
-                    _ => None,
+                match self.sockets.get_mut(&sock) {
+                    Some(s) => match s.blocked_write {
+                        Some(bw) if !bw.uio_path && bw.appended == bw.total => {
+                            s.blocked_write = None;
+                            Some(bw.task)
+                        }
+                        _ => None,
+                    },
+                    None => None,
                 }
             };
             if let Some(task) = wake {
@@ -642,8 +657,6 @@ impl Kernel {
         }
 
         if r.closed {
-            let parent_teardown = self.sockets[&sock].listen_parent.is_some();
-            let _ = parent_teardown;
             self.teardown(sock);
             return;
         }
@@ -699,7 +712,9 @@ impl Kernel {
 
     fn on_connected(&mut self, sock: SockId) {
         let (connector, parent) = {
-            let s = self.sockets.get_mut(&sock).unwrap();
+            let Some(s) = self.sockets.get_mut(&sock) else {
+                return;
+            };
             (s.connector.take(), s.listen_parent)
         };
         if let Some(task) = connector {
@@ -723,7 +738,9 @@ impl Kernel {
     /// the outboard packets they lived in.
     fn ack_free(&mut self, sock: SockId, bytes: usize) {
         let dropped = {
-            let s = self.sockets.get_mut(&sock).unwrap();
+            let Some(s) = self.sockets.get_mut(&sock) else {
+                return;
+            };
             let n = bytes.min(s.so_snd.chain.len());
             s.so_snd.chain.split_front(n)
         };
@@ -879,7 +896,7 @@ impl Kernel {
                 let free = {
                     match cab.rx_remaining.get_mut(&packet) {
                         Some(rem) => {
-                            *rem -= d.len;
+                            *rem = rem.saturating_sub(d.len);
                             *rem == 0
                         }
                         None => false,
@@ -898,14 +915,13 @@ impl Kernel {
                     interrupt_on_complete: true,
                     token,
                 };
-                match cab.cab.sdma_rx(req, now, mem) {
-                    Ok(ev) => k.fx.push(Effect::Cab { iface, event: ev }),
-                    Err(e) => panic!("kernel conversion sdma_rx: {e}"),
-                }
+                Kernel::sdma_rx_resilient(k, cab, iface, req, now, mem);
             });
         }
         let ready = converting == 0;
-        let s = self.sockets.get_mut(&sock).unwrap();
+        let Some(s) = self.sockets.get_mut(&sock) else {
+            return;
+        };
         s.kq.push_back(KqEntry {
             serial,
             chain,
@@ -991,8 +1007,9 @@ impl Kernel {
                         .memsys
                         .copy_cost(bytes_data.len(), bytes_data.len().max(4096));
                     self.cpu_dur(cost, Charge::Interrupt);
-                    mem.write_user(task, vaddr, bytes_data)
-                        .expect("user read buffer writable");
+                    if mem.write_user(task, vaddr, bytes_data).is_err() {
+                        self.stats.user_mem_faults += 1;
+                    }
                 }
                 let done = {
                     let Some(s) = self.sockets.get(&sock) else {
@@ -1005,8 +1022,9 @@ impl Kernel {
                     if self.uio.complete(counter, bytes).is_some() {
                         let cost = self.vm.release(task, pv, pl);
                         self.cpu_dur(cost, Charge::Interrupt);
-                        let s = self.sockets.get_mut(&sock).unwrap();
-                        s.blocked_read = None;
+                        if let Some(s) = self.sockets.get_mut(&sock) {
+                            s.blocked_read = None;
+                        }
                         self.wake(task, sock, Charge::Interrupt);
                     }
                 }
@@ -1017,8 +1035,13 @@ impl Kernel {
                 chain_off,
                 len,
             } => {
-                let bytes = data.expect("kernel conversion returns bytes");
-                assert_eq!(bytes.len(), len);
+                // A fallback completion with a missing or short payload
+                // yields zeros of the right geometry; the consumer's
+                // integrity checks reject the content, not the kernel.
+                let bytes = match data {
+                    Some(b) if b.len() == len => b,
+                    _ => Bytes::from(vec![0u8; len]),
+                };
                 let ready = {
                     let Some(s) = self.sockets.get_mut(&sock) else {
                         return self.take_effects();
@@ -1027,8 +1050,12 @@ impl Kernel {
                         return self.take_effects();
                     };
                     let chain = std::mem::take(&mut entry.chain);
-                    entry.chain = replace_range(chain, chain_off, len, Mbuf::kernel(bytes));
-                    entry.converting -= len;
+                    entry.chain = if chain_off + len <= chain.len() {
+                        replace_range(chain, chain_off, len, Mbuf::kernel(bytes))
+                    } else {
+                        chain
+                    };
+                    entry.converting = entry.converting.saturating_sub(len);
                     entry.converting == 0 && s.kq.front().map(|e| e.serial) == Some(serial)
                 };
                 if ready {
@@ -1121,9 +1148,13 @@ impl Kernel {
                 if valid {
                     self.cpu(self.machine.cost_interrupt_us, Charge::Interrupt);
                     let (window_closed, has_data) = {
-                        let s = self.sockets.get_mut(&sock).unwrap();
+                        let Some(s) = self.sockets.get_mut(&sock) else {
+                            return self.take_effects();
+                        };
                         s.rexmt_armed = false;
-                        let tcb = s.tcb.as_mut().unwrap();
+                        let Some(tcb) = s.tcb.as_mut() else {
+                            return self.take_effects();
+                        };
                         tcb.on_rexmt_timeout();
                         (tcb.snd_wnd == 0, !s.so_snd.chain.is_empty())
                     };
@@ -1162,6 +1193,41 @@ impl Kernel {
                     self.teardown(sock);
                 }
             }
+            TimerKind::CabRetry { iface, generation } => {
+                let valid = self
+                    .ifaces
+                    .get(iface.0 as usize)
+                    .and_then(|i| i.cab_ref())
+                    .map(|c| c.health.retry_armed && c.health.retry_gen == generation)
+                    .unwrap_or(false);
+                if valid {
+                    self.cpu(self.machine.cost_interrupt_us, Charge::Interrupt);
+                    self.cab_retry_fire(iface, mem, now);
+                }
+            }
+            TimerKind::CabProbe { iface, generation } => {
+                let valid = self
+                    .ifaces
+                    .get(iface.0 as usize)
+                    .and_then(|i| i.cab_ref())
+                    .map(|c| c.health.degraded && c.health.probe_gen == generation)
+                    .unwrap_or(false);
+                if valid {
+                    self.cpu(self.machine.cost_interrupt_us, Charge::Interrupt);
+                    self.cab_probe_fire(iface, now);
+                }
+            }
+            TimerKind::CabWatchdog { iface, generation } => {
+                let valid = self
+                    .ifaces
+                    .get(iface.0 as usize)
+                    .and_then(|i| i.cab_ref())
+                    .map(|c| c.health.watchdog_armed && c.health.watchdog_gen == generation)
+                    .unwrap_or(false);
+                if valid {
+                    self.cab_watchdog_fire(iface, mem, now);
+                }
+            }
         }
         self.take_effects()
     }
@@ -1170,8 +1236,12 @@ impl Kernel {
     /// re-advertise (BSD's persist logic, folded into the rexmt timer).
     fn send_window_probe(&mut self, sock: SockId, mem: &mut HostMem, now: Time) {
         let (local, remote, plan) = {
-            let s = self.sockets.get(&sock).unwrap();
-            let tcb = s.tcb.as_ref().unwrap();
+            let Some(s) = self.sockets.get(&sock) else {
+                return;
+            };
+            let Some(tcb) = s.tcb.as_ref() else {
+                return;
+            };
             let plan = SegmentPlan {
                 seq: tcb.snd_una,
                 ack: tcb.rcv_nxt,
@@ -1183,7 +1253,10 @@ impl Kernel {
                 ws_opt: None,
                 retransmit: true,
             };
-            (s.local.unwrap(), s.remote.unwrap(), plan)
+            let (Some(local), Some(remote)) = (s.local, s.remote) else {
+                return;
+            };
+            (local, remote, plan)
         };
         self.trace
             .record(now, "tcp", "window_probe", format!("sock {sock:?}"));
@@ -1203,7 +1276,9 @@ impl Kernel {
         // borrow of the plan local.
         self.cpu(self.machine.cost_tcp_output_us, Charge::Interrupt);
         let data = {
-            let s = self.sockets.get(&sock).expect("socket exists");
+            let Some(s) = self.sockets.get(&sock) else {
+                return;
+            };
             s.so_snd.chain.copy_range(plan.data_off, plan.data_len)
         };
         let mut hdr = outboard_wire::tcp::TcpHeader::new(

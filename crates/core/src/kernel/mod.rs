@@ -16,6 +16,7 @@
 
 mod input;
 mod output;
+mod robust;
 #[cfg(test)]
 mod tests;
 
@@ -96,6 +97,9 @@ pub struct KernelStats {
     pub udp_datagrams_out: u64,
     /// UDP datagrams delivered to a socket.
     pub udp_datagrams_in: u64,
+    /// User-memory accesses that faulted (bad mapping); the affected bytes
+    /// read/write as zeros and the transfer continues.
+    pub user_mem_faults: u64,
 }
 
 /// Metadata accompanying a transmit packet down to the driver.
@@ -892,13 +896,14 @@ impl Kernel {
         let packet = PacketId(d.packet);
         self.with_cab(iface_id, |k, cab| {
             // Free the outboard buffer once every payload byte is out.
-            let free = {
-                let rem = cab
-                    .rx_remaining
-                    .get_mut(&packet)
-                    .expect("rx packet tracked");
-                *rem -= d.len;
-                *rem == 0
+            let free = match cab.rx_remaining.get_mut(&packet) {
+                Some(rem) => {
+                    *rem = rem.saturating_sub(d.len);
+                    *rem == 0
+                }
+                // Untracked (e.g. a watchdog reset cleared the table):
+                // never free on this path.
+                None => false,
             };
             if free {
                 cab.rx_remaining.remove(&packet);
@@ -927,13 +932,7 @@ impl Kernel {
                 interrupt_on_complete: true,
                 token,
             };
-            match cab.cab.sdma_rx(req, now, mem) {
-                Ok(ev) => k.fx.push(Effect::Cab {
-                    iface: iface_id,
-                    event: ev,
-                }),
-                Err(e) => panic!("sdma_rx failed: {e}"),
-            }
+            Kernel::sdma_rx_resilient(k, cab, iface_id, req, now, mem);
         });
     }
 
@@ -1282,14 +1281,16 @@ impl Kernel {
         s.counter("mbuf.cluster_allocs", self.mbuf_stats.cluster_allocs);
         s.counter("mbuf.uio_allocs", self.mbuf_stats.uio_allocs);
         s.counter("mbuf.wcab_allocs", self.mbuf_stats.wcab_allocs);
+        s.counter("mbuf.user_mem_faults", st.user_mem_faults);
 
         s.counter("trace.events_evicted", self.trace.dropped());
 
         self.vm.publish_metrics(&mut s.sub("vm"));
         for iface in &self.ifaces {
             if let Some(ci) = iface.cab_ref() {
-                ci.cab
-                    .publish_metrics(&mut s.sub(&format!("cab{}", iface.id.0)));
+                let mut sc = s.sub(&format!("cab{}", iface.id.0));
+                ci.cab.publish_metrics(&mut sc);
+                ci.publish_driver_metrics(&mut sc);
             }
         }
     }

@@ -3,7 +3,7 @@
 //! three drivers' output routines.
 
 use super::{Kernel, TxMeta};
-use crate::driver::{IfaceKind, SdmaPurpose};
+use crate::driver::{IfaceKind, PendingTx, SdmaPurpose};
 use crate::ip;
 use crate::socket::Owner;
 use crate::tcp::SegmentPlan;
@@ -56,7 +56,9 @@ impl Kernel {
     ) {
         self.cpu(self.machine.cost_tcp_output_us, Charge::Syscall);
         let data = {
-            let s = self.sockets.get(&sock).expect("socket exists");
+            let Some(s) = self.sockets.get(&sock) else {
+                return;
+            };
             s.so_snd.chain.copy_range(plan.data_off, plan.data_len)
         };
         let mut hdr = TcpHeader::new(local.port, remote.port, plan.seq, plan.ack, plan.flags);
@@ -108,6 +110,12 @@ impl Kernel {
         mem: &mut HostMem,
         now: Time,
     ) {
+        // Count only RSTs that will actually reach a driver; an unroutable
+        // one keeps the checksum-conservation invariant honest.
+        if self.routes.lookup(remote.ip).is_none() {
+            self.stats.ip_errors += 1;
+            return;
+        }
         self.stats.rst_sent += 1;
         let mut hdr = TcpHeader::new(local.port, remote.port, seq, ack, flags);
         hdr.window = 0;
@@ -198,6 +206,16 @@ impl Kernel {
             data
         };
         let transport_len = thdr.len() + data.len();
+        // Account payload pushed through the traditional path because the
+        // interface is degraded (it would have gone single-copy otherwise).
+        if !single_copy && !data.is_empty() && self.cfg.mode == crate::types::StackMode::SingleCopy
+        {
+            if let IfaceKind::Cab(c) = &mut self.ifaces[iface_id.0 as usize].kind {
+                if c.health.degraded {
+                    c.health.stats.fallback_bytes += data.len() as u64;
+                }
+            }
+        }
 
         let csum_plan = if single_copy {
             // Outboard checksumming (§4.3): seed the checksum field with
@@ -281,8 +299,9 @@ impl Kernel {
             match m.data() {
                 MbufData::Uio(d) => {
                     let mut buf = vec![0u8; d.len];
-                    mem.read_user(d.region.task, d.vaddr(), &mut buf)
-                        .expect("mapped user pages");
+                    if mem.read_user(d.region.task, d.vaddr(), &mut buf).is_err() {
+                        self.stats.user_mem_faults += 1;
+                    }
                     if let Some(c) = d.counter {
                         credited.push((c, d.len));
                     }
@@ -312,36 +331,36 @@ impl Kernel {
                         let len = (data_len - skip_front)
                             .min(s.so_snd.chain.len().saturating_sub(off_in_q));
                         if len > 0 {
-                            rewrote_queue = true;
                             let flat: Vec<u8> = {
                                 let piece = out.copy_range(skip_front, len);
                                 self.chain_bytes(&piece, mem)
                             };
-                            let chain = std::mem::take(
-                                &mut self.sockets.get_mut(&sock).unwrap().so_snd.chain,
-                            );
-                            let (new_chain, removed) = crate::kernel::replace_range_take(
-                                chain,
-                                off_in_q,
-                                len,
-                                outboard_mbuf::Mbuf::kernel(Bytes::from(flat)),
-                            );
-                            self.sockets.get_mut(&sock).unwrap().so_snd.chain = new_chain;
-                            let mut wakes = Vec::new();
-                            for m in removed.iter() {
-                                if let MbufData::Uio(d) = m.data() {
-                                    if let Some(c) = d.counter {
-                                        if let Some(st) = self.uio.complete(c, d.len) {
-                                            wakes.push((st.task, st.sock));
+                            if let Some(sref) = self.sockets.get_mut(&sock) {
+                                rewrote_queue = true;
+                                let chain = std::mem::take(&mut sref.so_snd.chain);
+                                let (new_chain, removed) = crate::kernel::replace_range_take(
+                                    chain,
+                                    off_in_q,
+                                    len,
+                                    outboard_mbuf::Mbuf::kernel(Bytes::from(flat)),
+                                );
+                                sref.so_snd.chain = new_chain;
+                                let mut wakes = Vec::new();
+                                for m in removed.iter() {
+                                    if let MbufData::Uio(d) = m.data() {
+                                        if let Some(c) = d.counter {
+                                            if let Some(st) = self.uio.complete(c, d.len) {
+                                                wakes.push((st.task, st.sock));
+                                            }
                                         }
                                     }
                                 }
-                            }
-                            for (task, wsock) in wakes {
-                                if let Some(s) = self.sockets.get_mut(&wsock) {
-                                    s.blocked_write = None;
+                                for (task, wsock) in wakes {
+                                    if let Some(s) = self.sockets.get_mut(&wsock) {
+                                        s.blocked_write = None;
+                                    }
+                                    self.wake(task, wsock, Charge::Syscall);
                                 }
-                                self.wake(task, wsock, Charge::Syscall);
                             }
                         }
                     }
@@ -368,7 +387,7 @@ impl Kernel {
     /// Flatten a chain to bytes, resolving UIO (user memory) and WCAB
     /// (outboard memory) descriptors without charging costs (helper for
     /// conversions that have already accounted the copy).
-    fn chain_bytes(&self, chain: &Chain, mem: &HostMem) -> Vec<u8> {
+    fn chain_bytes(&mut self, chain: &Chain, mem: &HostMem) -> Vec<u8> {
         use outboard_host::UserMemory;
         let mut outb = Vec::with_capacity(chain.len());
         for m in chain.iter() {
@@ -376,15 +395,18 @@ impl Kernel {
                 MbufData::Kernel(b) => outb.extend_from_slice(b),
                 MbufData::Uio(d) => {
                     let mut buf = vec![0u8; d.len];
-                    mem.read_user(d.region.task, d.vaddr(), &mut buf)
-                        .expect("mapped user pages");
+                    if mem.read_user(d.region.task, d.vaddr(), &mut buf).is_err() {
+                        self.stats.user_mem_faults += 1;
+                    }
                     outb.extend_from_slice(&buf);
                 }
                 MbufData::Wcab(d) => {
+                    // A buffer lost to a board reset reads as zeros; the
+                    // peer's checksum rejects the segment and TCP recovers.
                     let mut buf = vec![0u8; d.len];
                     let iface = &self.ifaces[d.cab as usize];
                     if let IfaceKind::Cab(c) = &iface.kind {
-                        assert!(c.cab.read_packet(PacketId(d.packet), d.off, &mut buf));
+                        let _ = c.cab.read_packet(PacketId(d.packet), d.off, &mut buf);
                     }
                     outb.extend_from_slice(&buf);
                 }
@@ -403,15 +425,16 @@ impl Kernel {
                 MbufData::Kernel(b) => acc.add_bytes(b),
                 MbufData::Uio(d) => {
                     let mut buf = vec![0u8; d.len];
-                    mem.read_user(d.region.task, d.vaddr(), &mut buf)
-                        .expect("mapped user pages readable for checksum");
+                    if mem.read_user(d.region.task, d.vaddr(), &mut buf).is_err() {
+                        self.stats.user_mem_faults += 1;
+                    }
                     acc.add_bytes(&buf);
                 }
                 MbufData::Wcab(d) => {
                     let mut buf = vec![0u8; d.len];
                     let iface = &self.ifaces[d.cab as usize];
                     if let IfaceKind::Cab(c) = &iface.kind {
-                        assert!(c.cab.read_packet(PacketId(d.packet), d.off, &mut buf));
+                        let _ = c.cab.read_packet(PacketId(d.packet), d.off, &mut buf);
                     }
                     acc.add_bytes(&buf);
                 }
@@ -542,7 +565,10 @@ impl Kernel {
                             header.extend_from_slice(&hippi.build());
                             header.extend_from_slice(&ip_bytes);
                             header.extend_from_slice(
-                                &transport.copy_range(0, thdr_len).flatten_kernel().unwrap(),
+                                &transport
+                                    .copy_range(0, thdr_len)
+                                    .flatten_kernel()
+                                    .unwrap_or_default(),
                             );
                             let token = cab.issue(SdmaPurpose::TxPlain);
                             let req = SdmaTx {
@@ -560,14 +586,31 @@ impl Kernel {
                                         iface: iface_id,
                                         event: ev,
                                     });
-                                    let ev = cab
+                                    match cab
                                         .cab
                                         .mdma_tx(packet, hippi_dst, channel, sdma_done, false)
-                                        .expect("mdma of retransmit");
-                                    k.fx.push(Effect::Cab {
-                                        iface: iface_id,
-                                        event: ev,
-                                    });
+                                    {
+                                        Ok(ev) => k.fx.push(Effect::Cab {
+                                            iface: iface_id,
+                                            event: ev,
+                                        }),
+                                        Err(e) => {
+                                            // The header is refreshed; only
+                                            // the media transfer is parked.
+                                            Kernel::watchdog_on_wedge(k, cab, iface_id, &e);
+                                            Kernel::park_tx(
+                                                k,
+                                                cab,
+                                                iface_id,
+                                                PendingTx::Mdma {
+                                                    packet,
+                                                    dst: hippi_dst,
+                                                    channel,
+                                                    free_after: false,
+                                                },
+                                            );
+                                        }
+                                    }
                                     k.stats.retransmit_header_only += 1;
                                     k.trace.record(
                                         now,
@@ -577,7 +620,12 @@ impl Kernel {
                                     );
                                     return;
                                 }
-                                Err(e) => panic!("header-only sdma_tx: {e}"),
+                                Err(e) => {
+                                    // Fall through to the slow path, which
+                                    // rebuilds the whole frame.
+                                    cab.complete(token);
+                                    Kernel::watchdog_on_wedge(k, cab, iface_id, &e);
+                                }
                             }
                         }
                     }
@@ -585,12 +633,7 @@ impl Kernel {
                 k.stats.retransmit_slow_path += 1;
             }
 
-            // --- Normal path: allocate a fresh packet, gather everything.
-            let Some(packet) = cab.cab.alloc_packet(frame_len) else {
-                // Out of network memory: drop; TCP retransmission recovers.
-                k.stats.tx_nomem_drops += 1;
-                return;
-            };
+            // --- Normal path: gather everything, then allocate and DMA.
             let mut header = Vec::with_capacity(full_hdr_len);
             header.extend_from_slice(&hippi.build());
             header.extend_from_slice(&ip_bytes);
@@ -618,8 +661,9 @@ impl Kernel {
                             use outboard_host::UserMemory;
                             k.stats.aligned_fallbacks += 1;
                             let mut buf = vec![0u8; d.len];
-                            mem.read_user(d.region.task, d.vaddr(), &mut buf)
-                                .expect("mapped user pages");
+                            if mem.read_user(d.region.task, d.vaddr(), &mut buf).is_err() {
+                                k.stats.user_mem_faults += 1;
+                            }
                             let cost = k.memsys.copy_cost(d.len, d.len.max(4096));
                             k.cpu_dur(cost, Charge::Syscall);
                             // The bytes are copied, so the write's counter
@@ -643,10 +687,11 @@ impl Kernel {
                     }
                     MbufData::Wcab(d) => {
                         // Cross-packet retransmit slice: resolve outboard
-                        // bytes through the driver (rare; a CPU read).
+                        // bytes through the driver (rare; a CPU read). Zeros
+                        // on a lost buffer; the peer's checksum rejects.
                         first_kernel = false;
                         let mut buf = vec![0u8; d.len];
-                        assert!(cab.cab.read_packet(PacketId(d.packet), d.off, &mut buf));
+                        let _ = cab.cab.read_packet(PacketId(d.packet), d.off, &mut buf);
                         let cost = k.memsys.read_cost(d.len, d.len.max(4096));
                         k.cpu_dur(cost, Charge::Syscall);
                         sg.push(SgEntry::Inline(Bytes::from(buf)));
@@ -654,22 +699,49 @@ impl Kernel {
                 }
             }
             sg.insert(0, SgEntry::Inline(Bytes::from(header)));
-            let purpose = if uio_bytes > 0 {
-                SdmaPurpose::TxSegment {
-                    sock: meta.sock.expect("UIO data implies a socket"),
+            let mut purpose = match (uio_bytes > 0, meta.sock) {
+                (true, Some(sock)) => SdmaPurpose::TxSegment {
+                    sock,
                     seq_lo: meta.seq_lo,
                     data_len,
-                    packet,
+                    // Placeholder until a packet is allocated (the parked
+                    // retry path allocates afresh each round).
+                    packet: PacketId(0),
                     hdr_len: full_hdr_len,
                     pinned,
-                }
-            } else {
-                SdmaPurpose::TxPlain
+                },
+                _ => SdmaPurpose::TxPlain,
             };
+            let Some(packet) = cab.cab.alloc_packet(frame_len) else {
+                // Out of network memory — the paper's "transient
+                // out-of-resources condition" (§4.4.3): park the gathered
+                // request and retry with backoff instead of dropping.
+                k.stats.tx_nomem_drops += 1;
+                Kernel::park_tx(
+                    k,
+                    cab,
+                    iface_id,
+                    PendingTx::Sdma {
+                        frame_len,
+                        sg,
+                        csum: spec,
+                        dst: hippi_dst,
+                        channel,
+                        purpose,
+                        free_after_mdma: meta.free_after_mdma,
+                        data_len,
+                        hdr_len: full_hdr_len,
+                    },
+                );
+                return;
+            };
+            if let SdmaPurpose::TxSegment { packet: p, .. } = &mut purpose {
+                *p = packet;
+            }
             let token = cab.issue(purpose);
             let req = SdmaTx {
                 packet,
-                sg,
+                sg: sg.clone(),
                 csum: spec,
                 reuse_body_csum: false,
                 interrupt_on_complete: uio_bytes > 0,
@@ -687,16 +759,59 @@ impl Kernel {
                         iface: iface_id,
                         event: ev,
                     });
-                    let ev = cab
-                        .cab
-                        .mdma_tx(packet, hippi_dst, channel, sdma_done, meta.free_after_mdma)
-                        .expect("mdma_tx");
-                    k.fx.push(Effect::Cab {
-                        iface: iface_id,
-                        event: ev,
-                    });
+                    match cab.cab.mdma_tx(
+                        packet,
+                        hippi_dst,
+                        channel,
+                        sdma_done,
+                        meta.free_after_mdma,
+                    ) {
+                        Ok(ev) => k.fx.push(Effect::Cab {
+                            iface: iface_id,
+                            event: ev,
+                        }),
+                        Err(e) => {
+                            // The packet is gathered outboard; only the
+                            // media transfer needs a retry.
+                            Kernel::watchdog_on_wedge(k, cab, iface_id, &e);
+                            Kernel::park_tx(
+                                k,
+                                cab,
+                                iface_id,
+                                PendingTx::Mdma {
+                                    packet,
+                                    dst: hippi_dst,
+                                    channel,
+                                    free_after: meta.free_after_mdma,
+                                },
+                            );
+                        }
+                    }
                 }
-                Err(e) => panic!("sdma_tx: {e}"),
+                Err(e) => {
+                    // Undo the issue and park the whole transfer.
+                    cab.complete(token);
+                    cab.tx_remaining.remove(&packet);
+                    cab.tx_hdr_len.remove(&packet);
+                    cab.cab.free_packet(packet);
+                    Kernel::watchdog_on_wedge(k, cab, iface_id, &e);
+                    Kernel::park_tx(
+                        k,
+                        cab,
+                        iface_id,
+                        PendingTx::Sdma {
+                            frame_len,
+                            sg,
+                            csum: spec,
+                            dst: hippi_dst,
+                            channel,
+                            purpose,
+                            free_after_mdma: meta.free_after_mdma,
+                            data_len,
+                            hdr_len: full_hdr_len,
+                        },
+                    );
+                }
             }
         });
     }
@@ -765,8 +880,9 @@ impl Kernel {
                 MbufData::Kernel(b) => out.extend_from_slice(b),
                 MbufData::Uio(d) => {
                     let mut buf = vec![0u8; d.len];
-                    mem.read_user(d.region.task, d.vaddr(), &mut buf)
-                        .expect("mapped user pages");
+                    if mem.read_user(d.region.task, d.vaddr(), &mut buf).is_err() {
+                        self.stats.user_mem_faults += 1;
+                    }
                     out.extend_from_slice(&buf);
                     uio_copied += d.len;
                 }
@@ -774,7 +890,7 @@ impl Kernel {
                     let mut buf = vec![0u8; d.len];
                     let iface = &self.ifaces[d.cab as usize];
                     if let IfaceKind::Cab(c) = &iface.kind {
-                        assert!(c.cab.read_packet(PacketId(d.packet), d.off, &mut buf));
+                        let _ = c.cab.read_packet(PacketId(d.packet), d.off, &mut buf);
                     }
                     out.extend_from_slice(&buf);
                     wcab_copied += d.len;

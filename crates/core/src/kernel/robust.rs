@@ -1,0 +1,533 @@
+//! CAB driver robustness: bounded retry with exponential backoff for
+//! transient DMA failures and network-memory exhaustion, degraded mode
+//! (fall back to the traditional host-buffered, software-checksum path)
+//! with periodic recovery probes, and a watchdog that resets a board whose
+//! engine has wedged and rebuilds transmit state from the socket send
+//! queues.
+//!
+//! The paper's driver treats outboard-resource exhaustion as "a transient
+//! out-of-resources condition" (§4.4.3); this module applies that
+//! philosophy to every failure the device model can produce. Nothing here
+//! panics: a sick adaptor costs throughput, never the kernel.
+
+use super::Kernel;
+use crate::driver::{CabIface, PendingTx, SdmaPurpose};
+use crate::types::{Effect, IfaceId, SockId, TimerKind};
+use bytes::Bytes;
+use outboard_cab::{CabError, CabEvent, PacketId, SdmaDst, SdmaRx, SdmaTx};
+use outboard_host::{Charge, HostMem, UserMemory};
+use outboard_mbuf::{Mbuf, MbufData};
+use outboard_sim::{Dur, Time};
+
+impl Kernel {
+    /// Backoff delay for the given retry round (base × 2^round).
+    fn cab_backoff(&self, round: u32) -> Dur {
+        self.cfg.cab_retry_base * (1u64 << round.min(16))
+    }
+
+    /// Arm the wedged-engine watchdog (idempotent while armed).
+    pub(crate) fn arm_watchdog(k: &mut Kernel, cab: &mut CabIface, iface: IfaceId) {
+        if cab.health.watchdog_armed {
+            return;
+        }
+        cab.health.watchdog_armed = true;
+        cab.health.watchdog_gen += 1;
+        k.fx.push(Effect::Timer {
+            after: k.cfg.cab_watchdog_timeout,
+            kind: TimerKind::CabWatchdog {
+                iface,
+                generation: cab.health.watchdog_gen,
+            },
+        });
+    }
+
+    /// Arm the watchdog when the error indicates a wedged engine.
+    pub(crate) fn watchdog_on_wedge(
+        k: &mut Kernel,
+        cab: &mut CabIface,
+        iface: IfaceId,
+        e: &CabError,
+    ) {
+        if matches!(e, CabError::EngineWedged(_)) {
+            Kernel::arm_watchdog(k, cab, iface);
+        }
+    }
+
+    /// Park a transmission on the retry queue and arm the backoff timer.
+    pub(crate) fn park_tx(k: &mut Kernel, cab: &mut CabIface, iface: IfaceId, entry: PendingTx) {
+        cab.retry_q.push_back(entry);
+        if cab.health.retry_armed {
+            return;
+        }
+        cab.health.retry_armed = true;
+        cab.health.retry_gen += 1;
+        let after = k.cab_backoff(cab.health.retry_round);
+        cab.health.stats.backoff_us += after.as_micros_f64() as u64;
+        k.fx.push(Effect::Timer {
+            after,
+            kind: TimerKind::CabRetry {
+                iface,
+                generation: cab.health.retry_gen,
+            },
+        });
+    }
+
+    /// Release a transmit purpose's pinned user pages (the completion that
+    /// would have released them will never run).
+    fn release_purpose_pins(&mut self, purpose: &SdmaPurpose) -> Option<SockId> {
+        if let SdmaPurpose::TxSegment { sock, pinned, .. } = purpose {
+            if let Some((task, vaddr, len)) = *pinned {
+                let cost = self.vm.release(task, vaddr, len);
+                self.cpu_dur(cost, Charge::Interrupt);
+            }
+            Some(*sock)
+        } else {
+            None
+        }
+    }
+
+    /// Re-attempt one parked transmission. On failure the entry goes back
+    /// on the retry queue (without re-arming: the caller owns the timer) or
+    /// is dropped when the device says it can never succeed.
+    fn submit_pending(
+        k: &mut Kernel,
+        cab: &mut CabIface,
+        iface: IfaceId,
+        entry: PendingTx,
+        now: Time,
+        mem: &mut HostMem,
+    ) {
+        k.cpu(k.machine.cost_driver_pkt_us, Charge::Interrupt);
+        match entry {
+            PendingTx::Mdma {
+                packet,
+                dst,
+                channel,
+                free_after,
+            } => match cab.cab.mdma_tx(packet, dst, channel, now, free_after) {
+                Ok(ev) => k.fx.push(Effect::Cab { iface, event: ev }),
+                Err(e) => {
+                    Kernel::watchdog_on_wedge(k, cab, iface, &e);
+                    if e.is_transient() || matches!(e, CabError::EngineWedged(_)) {
+                        cab.retry_q.push_back(PendingTx::Mdma {
+                            packet,
+                            dst,
+                            channel,
+                            free_after,
+                        });
+                    } else {
+                        // The packet vanished (board reset) or the request
+                        // is malformed: nothing a retry can fix.
+                        cab.health.stats.abandoned_tx += 1;
+                        if free_after {
+                            cab.cab.free_packet(packet);
+                        }
+                    }
+                }
+            },
+            PendingTx::Sdma {
+                frame_len,
+                sg,
+                csum,
+                dst,
+                channel,
+                mut purpose,
+                free_after_mdma,
+                data_len,
+                hdr_len,
+            } => {
+                let Some(packet) = cab.cab.alloc_packet(frame_len) else {
+                    cab.retry_q.push_back(PendingTx::Sdma {
+                        frame_len,
+                        sg,
+                        csum,
+                        dst,
+                        channel,
+                        purpose,
+                        free_after_mdma,
+                        data_len,
+                        hdr_len,
+                    });
+                    return;
+                };
+                if let SdmaPurpose::TxSegment { packet: p, .. } = &mut purpose {
+                    *p = packet;
+                }
+                let interrupt = matches!(purpose, SdmaPurpose::TxSegment { .. });
+                let token = cab.issue(purpose);
+                if !free_after_mdma && data_len > 0 {
+                    cab.tx_remaining.insert(packet, data_len);
+                    cab.tx_hdr_len.insert(packet, hdr_len);
+                }
+                let req = SdmaTx {
+                    packet,
+                    sg: sg.clone(),
+                    csum,
+                    reuse_body_csum: false,
+                    interrupt_on_complete: interrupt,
+                    token,
+                };
+                match cab.cab.sdma_tx(req, now, mem) {
+                    Ok(ev) => {
+                        let sdma_done = ev.at();
+                        k.fx.push(Effect::Cab { iface, event: ev });
+                        match cab
+                            .cab
+                            .mdma_tx(packet, dst, channel, sdma_done, free_after_mdma)
+                        {
+                            Ok(ev) => k.fx.push(Effect::Cab { iface, event: ev }),
+                            Err(e) => {
+                                Kernel::watchdog_on_wedge(k, cab, iface, &e);
+                                cab.retry_q.push_back(PendingTx::Mdma {
+                                    packet,
+                                    dst,
+                                    channel,
+                                    free_after: free_after_mdma,
+                                });
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        cab.complete(token);
+                        cab.tx_remaining.remove(&packet);
+                        cab.tx_hdr_len.remove(&packet);
+                        cab.cab.free_packet(packet);
+                        Kernel::watchdog_on_wedge(k, cab, iface, &e);
+                        cab.retry_q.push_back(PendingTx::Sdma {
+                            frame_len,
+                            sg,
+                            csum,
+                            dst,
+                            channel,
+                            purpose,
+                            free_after_mdma,
+                            data_len,
+                            hdr_len,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// The retry-backoff timer fired: re-attempt every parked transmission;
+    /// whatever fails again waits for the next (doubled) round, and after
+    /// `cab_retry_max` rounds the driver gives up and degrades.
+    pub(crate) fn cab_retry_fire(&mut self, iface_id: IfaceId, mem: &mut HostMem, now: Time) {
+        let give_up = self.with_cab(iface_id, |k, cab| {
+            cab.health.retry_armed = false;
+            let parked: Vec<PendingTx> = cab.retry_q.drain(..).collect();
+            for entry in parked {
+                cab.health.stats.tx_retries += 1;
+                Kernel::submit_pending(k, cab, iface_id, entry, now, mem);
+            }
+            if cab.retry_q.is_empty() {
+                cab.health.retry_round = 0;
+                return false;
+            }
+            cab.health.retry_round += 1;
+            if cab.health.retry_round >= k.cfg.cab_retry_max {
+                return true;
+            }
+            cab.health.retry_armed = true;
+            cab.health.retry_gen += 1;
+            let after = k.cab_backoff(cab.health.retry_round);
+            cab.health.stats.backoff_us += after.as_micros_f64() as u64;
+            k.fx.push(Effect::Timer {
+                after,
+                kind: TimerKind::CabRetry {
+                    iface: iface_id,
+                    generation: cab.health.retry_gen,
+                },
+            });
+            false
+        });
+        if give_up {
+            self.cab_give_up(iface_id, mem, now);
+        }
+    }
+
+    /// Retries exhausted: abandon the parked transmissions to TCP recovery,
+    /// enter degraded mode, and rebuild transmit through the traditional
+    /// path so progress continues without the adaptor.
+    fn cab_give_up(&mut self, iface_id: IfaceId, mem: &mut HostMem, now: Time) {
+        let mut affected = self.with_cab(iface_id, |k, cab| {
+            cab.health.retry_round = 0;
+            let parked: Vec<PendingTx> = cab.retry_q.drain(..).collect();
+            let mut purposes = Vec::new();
+            for entry in parked {
+                cab.health.stats.abandoned_tx += 1;
+                match entry {
+                    PendingTx::Sdma { purpose, .. } => purposes.push(purpose),
+                    PendingTx::Mdma {
+                        packet, free_after, ..
+                    } => {
+                        if free_after {
+                            cab.cab.free_packet(packet);
+                        }
+                    }
+                }
+            }
+            if !cab.health.degraded {
+                cab.health.degraded = true;
+                cab.health.stats.degraded_entries += 1;
+            }
+            cab.health.probe_gen += 1;
+            k.fx.push(Effect::Timer {
+                after: k.cfg.cab_probe_interval,
+                kind: TimerKind::CabProbe {
+                    iface: iface_id,
+                    generation: cab.health.probe_gen,
+                },
+            });
+            purposes
+        });
+        let mut socks: Vec<SockId> = Vec::new();
+        for p in affected.drain(..) {
+            if let Some(s) = self.release_purpose_pins(&p) {
+                socks.push(s);
+            }
+        }
+        self.trace.record(
+            now,
+            "cab.driver",
+            "degraded_enter",
+            format!("iface {} retries exhausted", iface_id.0),
+        );
+        self.rebuild_transmit(socks, mem, now);
+    }
+
+    /// Rewind each connection to its unacknowledged left edge and push it
+    /// back through the output path (now the traditional one if degraded).
+    fn rebuild_transmit(&mut self, mut socks: Vec<SockId>, mem: &mut HostMem, now: Time) {
+        socks.sort();
+        socks.dedup();
+        for sock in socks {
+            if let Some(tcb) = self.sockets.get_mut(&sock).and_then(|s| s.tcb.as_mut()) {
+                tcb.rewind_for_rebuild();
+            }
+            self.tcp_send(sock, mem, now, false);
+        }
+    }
+
+    /// The degraded-mode probe fired: test the adaptor (engines unwedged
+    /// and an allocation succeeds) and either return to the single-copy
+    /// path or re-arm the probe.
+    pub(crate) fn cab_probe_fire(&mut self, iface_id: IfaceId, now: Time) {
+        let recovered = self.with_cab(iface_id, |k, cab| {
+            if !cab.health.degraded {
+                return false;
+            }
+            let healthy = !cab.cab.any_engine_wedged()
+                && match cab.cab.alloc_packet(1) {
+                    Some(p) => {
+                        cab.cab.free_packet(p);
+                        true
+                    }
+                    None => false,
+                };
+            if healthy {
+                cab.health.degraded = false;
+                cab.health.stats.degraded_exits += 1;
+            } else {
+                cab.health.probe_gen += 1;
+                k.fx.push(Effect::Timer {
+                    after: k.cfg.cab_probe_interval,
+                    kind: TimerKind::CabProbe {
+                        iface: iface_id,
+                        generation: cab.health.probe_gen,
+                    },
+                });
+            }
+            healthy
+        });
+        if recovered {
+            self.trace.record(
+                now,
+                "cab.driver",
+                "degraded_exit",
+                format!("iface {} probe healthy", iface_id.0),
+            );
+        }
+    }
+
+    /// The watchdog fired: if an engine is still wedged, rescue outboard
+    /// bytes referenced by socket buffers via programmed I/O, reset the
+    /// board (dropping all outboard state), enter degraded mode, and
+    /// rebuild transmit from the socket send queues.
+    pub(crate) fn cab_watchdog_fire(&mut self, iface_id: IfaceId, mem: &mut HostMem, now: Time) {
+        let still_wedged = self.with_cab(iface_id, |_k, cab| {
+            cab.health.watchdog_armed = false;
+            cab.cab.any_engine_wedged()
+        });
+        if !still_wedged {
+            return;
+        }
+        self.cpu(self.machine.cost_interrupt_us, Charge::Interrupt);
+
+        // 1. Rescue: network memory stays host-addressable even with the
+        //    DMA engines stuck, so every M_WCAB descriptor (this interface)
+        //    still in a socket buffer is read out by PIO into host mbufs
+        //    before the reset frees its backing packet.
+        let mut to_rescue: Vec<SockId> = self.sockets.keys().copied().collect();
+        to_rescue.sort();
+        let mut affected: Vec<SockId> = Vec::new();
+        for sock in to_rescue {
+            if self.rescue_sock_buffers(sock, iface_id) {
+                affected.push(sock);
+            }
+        }
+
+        // 2. Drop in-flight transmit conversions and parked retries, then
+        //    reset. Their sockets rewind and resend below.
+        let mut more = self.with_cab(iface_id, |k, cab| {
+            let mut purposes = cab.drop_pending_tx();
+            for entry in std::mem::take(&mut cab.retry_q) {
+                cab.health.stats.abandoned_tx += 1;
+                match entry {
+                    PendingTx::Sdma { purpose, .. } => purposes.push(purpose),
+                    PendingTx::Mdma { .. } => {} // its packet dies with the reset
+                }
+            }
+            cab.health.retry_armed = false;
+            cab.health.retry_gen += 1;
+            cab.health.retry_round = 0;
+            cab.cab.reset();
+            cab.tx_remaining.clear();
+            cab.tx_hdr_len.clear();
+            cab.rx_remaining.clear();
+            cab.health.stats.watchdog_resets += 1;
+            if !cab.health.degraded {
+                cab.health.degraded = true;
+                cab.health.stats.degraded_entries += 1;
+            }
+            cab.health.probe_gen += 1;
+            k.fx.push(Effect::Timer {
+                after: k.cfg.cab_probe_interval,
+                kind: TimerKind::CabProbe {
+                    iface: iface_id,
+                    generation: cab.health.probe_gen,
+                },
+            });
+            purposes
+        });
+        for p in more.drain(..) {
+            if let Some(s) = self.release_purpose_pins(&p) {
+                affected.push(s);
+            }
+        }
+        self.trace.record(
+            now,
+            "cab.driver",
+            "watchdog_reset",
+            format!("iface {} engine wedged", iface_id.0),
+        );
+        self.rebuild_transmit(affected, mem, now);
+    }
+
+    /// Replace this interface's outboard descriptors in `sock`'s buffers
+    /// with host mbufs read out by programmed I/O. Returns whether anything
+    /// was rescued.
+    fn rescue_sock_buffers(&mut self, sock: SockId, iface_id: IfaceId) -> bool {
+        let mut rescued = false;
+        for snd in [true, false] {
+            loop {
+                // Locate the first outboard descriptor of this interface.
+                let found = {
+                    let Some(s) = self.sockets.get(&sock) else {
+                        break;
+                    };
+                    let chain = if snd {
+                        &s.so_snd.chain
+                    } else {
+                        &s.so_rcv.chain
+                    };
+                    let mut off = 0usize;
+                    let mut hit = None;
+                    for m in chain.iter() {
+                        if let MbufData::Wcab(d) = m.data() {
+                            if d.cab == iface_id.0 {
+                                hit = Some((off, *d));
+                                break;
+                            }
+                        }
+                        off += m.len();
+                    }
+                    hit
+                };
+                let Some((off, d)) = found else {
+                    break;
+                };
+                let mut buf = vec![0u8; d.len];
+                self.with_cab(iface_id, |k, cab| {
+                    // A buffer already gone reads as zeros; the peer's
+                    // checksum rejects any segment built from it.
+                    let _ = cab.cab.read_packet(PacketId(d.packet), d.off, &mut buf);
+                    cab.health.stats.rescued_bytes += d.len as u64;
+                    let cost = k.memsys.read_cost(d.len, d.len.max(4096));
+                    k.cpu_dur(cost, Charge::Interrupt);
+                });
+                let Some(s) = self.sockets.get_mut(&sock) else {
+                    break;
+                };
+                let chain = if snd {
+                    &mut s.so_snd.chain
+                } else {
+                    &mut s.so_rcv.chain
+                };
+                let taken = std::mem::take(chain);
+                let (new_chain, _removed) =
+                    super::replace_range_take(taken, off, d.len, Mbuf::kernel(Bytes::from(buf)));
+                *chain = new_chain;
+                rescued = true;
+            }
+        }
+        rescued
+    }
+
+    /// Issue a receive copy-out, falling back to programmed I/O with a
+    /// synthesized completion event when the engine refuses the request.
+    /// The data still reaches its destination; only the transfer is slower
+    /// (and charged to the CPU instead of the engine).
+    pub(crate) fn sdma_rx_resilient(
+        k: &mut Kernel,
+        cab: &mut CabIface,
+        iface: IfaceId,
+        req: SdmaRx,
+        now: Time,
+        mem: &mut HostMem,
+    ) {
+        match cab.cab.sdma_rx(req, now, mem) {
+            Ok(ev) => k.fx.push(Effect::Cab { iface, event: ev }),
+            Err(e) => {
+                Kernel::watchdog_on_wedge(k, cab, iface, &e);
+                let mut buf = vec![0u8; req.len];
+                let _ = cab.cab.read_packet(req.packet, req.src_off, &mut buf);
+                let cost = k.memsys.read_cost(req.len, req.len.max(4096));
+                k.cpu_dur(cost, Charge::Interrupt);
+                let data = match req.dst {
+                    SdmaDst::User { task, vaddr } => {
+                        if mem.write_user(task, vaddr, &buf).is_err() {
+                            k.stats.user_mem_faults += 1;
+                        }
+                        None
+                    }
+                    SdmaDst::Kernel => Some(Bytes::from(buf)),
+                };
+                if req.free_packet {
+                    cab.cab.free_packet(req.packet);
+                }
+                cab.health.stats.pio_fallbacks += 1;
+                k.fx.push(Effect::Cab {
+                    iface,
+                    event: CabEvent::SdmaDone {
+                        at: now,
+                        token: req.token,
+                        interrupt: req.interrupt_on_complete,
+                        data,
+                    },
+                });
+            }
+        }
+    }
+}

@@ -520,6 +520,20 @@ impl Tcb {
         self.dupacks = 0;
     }
 
+    /// Roll the send pointer back to the first unacknowledged byte without
+    /// the congestion penalty of a timeout. Used by the driver's watchdog
+    /// after a board reset: the data itself was never lost (it is retained
+    /// in the send queue), only the adaptor's copy of it, so the next
+    /// output pass re-emits everything from `snd_una`.
+    pub fn rewind_for_rebuild(&mut self) {
+        self.snd_nxt = self.snd_una;
+        if self.fin_sent && seq::lt(self.snd_nxt, self.snd_max) {
+            self.fin_sent = false;
+        }
+        self.rtt_seq = None;
+        self.dupacks = 0;
+    }
+
     fn update_rtt(&mut self, sample: Dur) {
         match self.srtt {
             None => {

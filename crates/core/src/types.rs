@@ -95,6 +95,18 @@ pub struct StackConfig {
     pub rto_min: Dur,
     /// TIME_WAIT hold (shortened from 2MSL for simulation practicality).
     pub time_wait: Dur,
+    /// First CAB driver retry delay; doubles per round (exponential
+    /// backoff) while transmissions fail on transient DMA errors or
+    /// netmem exhaustion.
+    pub cab_retry_base: Dur,
+    /// Retry rounds before the driver gives up and degrades the interface
+    /// to the traditional (host-buffered, software-checksum) path.
+    pub cab_retry_max: u32,
+    /// How often a degraded interface probes the adaptor for recovery.
+    pub cab_probe_interval: Dur,
+    /// How long the driver waits for a wedged engine before resetting the
+    /// board and rebuilding transmit from the socket send queues.
+    pub cab_watchdog_timeout: Dur,
 }
 
 impl StackConfig {
@@ -115,6 +127,10 @@ impl StackConfig {
             // an odd trailing segment never triggers a spurious timeout.
             rto_min: Dur::millis(500),
             time_wait: Dur::secs(1),
+            cab_retry_base: Dur::millis(2),
+            cab_retry_max: 5,
+            cab_probe_interval: Dur::millis(10),
+            cab_watchdog_timeout: Dur::millis(20),
         }
     }
 
@@ -127,9 +143,9 @@ impl StackConfig {
     }
 }
 
-/// TCP timer identities (socket plus a generation to ignore stale firings).
+/// Timer identities (owner plus a generation to ignore stale firings).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[allow(missing_docs)] // field names (sock, generation) are the documentation
+#[allow(missing_docs)] // field names (sock/iface, generation) are the documentation
 pub enum TimerKind {
     /// Retransmission timeout.
     TcpRexmt { sock: SockId, generation: u64 },
@@ -137,15 +153,27 @@ pub enum TimerKind {
     TcpDelack { sock: SockId, generation: u64 },
     /// TIME_WAIT expiry.
     TcpTimeWait { sock: SockId, generation: u64 },
+    /// CAB driver retry backoff: re-attempt transmissions parked after a
+    /// transient DMA error or netmem exhaustion.
+    CabRetry { iface: IfaceId, generation: u64 },
+    /// Degraded-mode probe: test whether the adaptor has recovered and the
+    /// interface can return to the single-copy path.
+    CabProbe { iface: IfaceId, generation: u64 },
+    /// Watchdog for a wedged DMA engine: reset the board if it is still
+    /// stuck when this fires.
+    CabWatchdog { iface: IfaceId, generation: u64 },
 }
 
 impl TimerKind {
-    /// The socket the timer belongs to.
-    pub fn sock(&self) -> SockId {
+    /// The socket the timer belongs to, for TCP timers.
+    pub fn sock(&self) -> Option<SockId> {
         match self {
             TimerKind::TcpRexmt { sock, .. }
             | TimerKind::TcpDelack { sock, .. }
-            | TimerKind::TcpTimeWait { sock, .. } => *sock,
+            | TimerKind::TcpTimeWait { sock, .. } => Some(*sock),
+            TimerKind::CabRetry { .. }
+            | TimerKind::CabProbe { .. }
+            | TimerKind::CabWatchdog { .. } => None,
         }
     }
 }
@@ -252,7 +280,12 @@ mod tests {
             sock: SockId(3),
             generation: 9,
         };
-        assert_eq!(k.sock(), SockId(3));
+        assert_eq!(k.sock(), Some(SockId(3)));
+        let w = TimerKind::CabWatchdog {
+            iface: IfaceId(0),
+            generation: 1,
+        };
+        assert_eq!(w.sock(), None);
     }
 
     #[test]

@@ -43,6 +43,16 @@ pub enum Fate {
     Drop,
 }
 
+/// A fate forced by a test, queued ahead of the probabilistic draws.
+/// Resolved against the real payload when the frame arrives at `fate`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ForcedFault {
+    Drop,
+    Corrupt,
+    Reorder,
+    Duplicate,
+}
+
 /// Configurable fault injector with a deterministic stream.
 #[derive(Debug)]
 pub struct FaultInjector {
@@ -58,7 +68,7 @@ pub struct FaultInjector {
     /// Probability a frame is delivered twice.
     pub dup_p: f64,
     rng: Pcg32,
-    forced: VecDeque<Fate>,
+    forced: VecDeque<ForcedFault>,
     /// Cumulative fate counts.
     pub stats: FaultStats,
 }
@@ -89,19 +99,23 @@ impl FaultInjector {
     /// Force the next frame(s) to be dropped regardless of probabilities.
     pub fn force_drop_next(&mut self, count: usize) {
         for _ in 0..count {
-            self.forced.push_back(Fate::Drop);
+            self.forced.push_back(ForcedFault::Drop);
         }
     }
 
     /// Force the next frame to be corrupted (one bit flipped).
     pub fn force_corrupt_next(&mut self) {
-        // Encoded as a Deliver with an empty payload sentinel; resolved in
-        // `fate` where the real payload is available.
-        self.forced.push_back(Fate::Deliver {
-            payload: Bytes::new(),
-            extra_delay: Dur::ZERO,
-            duplicate: false,
-        });
+        self.forced.push_back(ForcedFault::Corrupt);
+    }
+
+    /// Force the next frame to arrive late (delayed by `reorder_delay`).
+    pub fn force_reorder_next(&mut self) {
+        self.forced.push_back(ForcedFault::Reorder);
+    }
+
+    /// Force the next frame to be delivered twice.
+    pub fn force_duplicate_next(&mut self) {
+        self.forced.push_back(ForcedFault::Duplicate);
     }
 
     fn corrupt(&mut self, payload: &Bytes) -> Bytes {
@@ -119,15 +133,31 @@ impl FaultInjector {
         self.stats.offered += 1;
         if let Some(forced) = self.forced.pop_front() {
             return match forced {
-                Fate::Drop => {
+                ForcedFault::Drop => {
                     self.stats.dropped += 1;
                     Fate::Drop
                 }
-                Fate::Deliver { .. } => Fate::Deliver {
+                ForcedFault::Corrupt => Fate::Deliver {
                     payload: self.corrupt(&payload),
                     extra_delay: Dur::ZERO,
                     duplicate: false,
                 },
+                ForcedFault::Reorder => {
+                    self.stats.reordered += 1;
+                    Fate::Deliver {
+                        payload,
+                        extra_delay: self.reorder_delay,
+                        duplicate: false,
+                    }
+                }
+                ForcedFault::Duplicate => {
+                    self.stats.duplicated += 1;
+                    Fate::Deliver {
+                        payload,
+                        extra_delay: Dur::ZERO,
+                        duplicate: true,
+                    }
+                }
             };
         }
         if self.drop_p > 0.0 && self.rng.chance(self.drop_p) {
@@ -222,6 +252,51 @@ mod tests {
         // Back to transparent.
         match f.fate(Bytes::from_static(b"dd")) {
             Fate::Deliver { payload, .. } => assert_eq!(payload, Bytes::from_static(b"dd")),
+            Fate::Drop => panic!(),
+        }
+    }
+
+    #[test]
+    fn forced_reorder_and_duplicate() {
+        let mut f = FaultInjector::none(6);
+        f.reorder_delay = Dur::micros(250);
+        f.force_reorder_next();
+        f.force_duplicate_next();
+        match f.fate(Bytes::from_static(b"r")) {
+            Fate::Deliver {
+                payload,
+                extra_delay,
+                duplicate,
+            } => {
+                assert_eq!(payload, Bytes::from_static(b"r"), "payload untouched");
+                assert_eq!(extra_delay, Dur::micros(250));
+                assert!(!duplicate);
+            }
+            Fate::Drop => panic!(),
+        }
+        match f.fate(Bytes::from_static(b"d")) {
+            Fate::Deliver {
+                extra_delay,
+                duplicate,
+                ..
+            } => {
+                assert_eq!(extra_delay, Dur::ZERO);
+                assert!(duplicate);
+            }
+            Fate::Drop => panic!(),
+        }
+        assert_eq!(f.stats.reordered, 1);
+        assert_eq!(f.stats.duplicated, 1);
+        // Back to transparent.
+        match f.fate(Bytes::from_static(b"z")) {
+            Fate::Deliver {
+                extra_delay,
+                duplicate,
+                ..
+            } => {
+                assert_eq!(extra_delay, Dur::ZERO);
+                assert!(!duplicate);
+            }
             Fate::Drop => panic!(),
         }
     }

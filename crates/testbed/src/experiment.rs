@@ -31,6 +31,22 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Forward-link drop probability (fault-injection experiments).
     pub drop_p: f64,
+    /// Forward-link single-bit corruption probability.
+    pub corrupt_p: f64,
+    /// Forward-link reordering (late-delivery) probability.
+    pub reorder_p: f64,
+    /// Forward-link duplication probability.
+    pub dup_p: f64,
+    /// CAB netmem allocation-failure probability (both hosts' adaptors).
+    pub cab_alloc_fail_p: f64,
+    /// CAB SDMA transfer-failure probability (both hosts' adaptors).
+    pub cab_sdma_fail_p: f64,
+    /// CAB MDMA transfer-failure probability (both hosts' adaptors).
+    pub cab_mdma_fail_p: f64,
+    /// Probability a failed CAB transfer wedges its engine.
+    pub cab_wedge_p: f64,
+    /// Probability the CAB miscomputes an outboard checksum.
+    pub cab_csum_error_p: f64,
     /// Verify payload integrity at the receiver.
     pub verify: bool,
     /// Misalign the sender's buffer by this many bytes (§4.5 experiments).
@@ -47,6 +63,14 @@ impl ExperimentConfig {
             total_bytes: 8 * 1024 * 1024,
             seed: 42,
             drop_p: 0.0,
+            corrupt_p: 0.0,
+            reorder_p: 0.0,
+            dup_p: 0.0,
+            cab_alloc_fail_p: 0.0,
+            cab_sdma_fail_p: 0.0,
+            cab_mdma_fail_p: 0.0,
+            cab_wedge_p: 0.0,
+            cab_csum_error_p: 0.0,
             verify: true,
             sender_misalign: 0,
         }
@@ -103,9 +127,36 @@ pub fn build_ttcp_world(cfg: &ExperimentConfig) -> World {
     let mut w = World::new();
     let a = w.add_host("sender", cfg.machine.clone(), cfg.stack.clone());
     let b = w.add_host("receiver", cfg.machine.clone(), cfg.stack.clone());
-    let (if_a, _if_b) = w.connect_cab(a, SENDER_IP, b, RECEIVER_IP, Dur::micros(5), cfg.seed);
-    if cfg.drop_p > 0.0 {
-        w.links.get_mut(&(a, if_a)).unwrap().faults.drop_p = cfg.drop_p;
+    let (if_a, if_b) = w.connect_cab(a, SENDER_IP, b, RECEIVER_IP, Dur::micros(5), cfg.seed);
+    {
+        let f = &mut w.links.get_mut(&(a, if_a)).unwrap().faults;
+        f.drop_p = cfg.drop_p;
+        f.corrupt_p = cfg.corrupt_p;
+        f.reorder_p = cfg.reorder_p;
+        f.dup_p = cfg.dup_p;
+    }
+    let cab_faulty = cfg.cab_alloc_fail_p > 0.0
+        || cfg.cab_sdma_fail_p > 0.0
+        || cfg.cab_mdma_fail_p > 0.0
+        || cfg.cab_csum_error_p > 0.0;
+    if cab_faulty {
+        for (host, iface) in [(a, if_a), (b, if_b)] {
+            let ci = w.hosts[host].kernel.ifaces[iface.0 as usize]
+                .cab()
+                .expect("cab iface");
+            // A fresh injector with a run-derived seed: the CAB's default
+            // injector is seeded from its fabric address, which would make
+            // every run with the same topology draw the same fate stream.
+            let mut f = outboard_cab::CabFaultInjector::none(
+                cfg.seed.wrapping_mul(7).wrapping_add(5 + host as u64),
+            );
+            f.alloc_fail_p = cfg.cab_alloc_fail_p;
+            f.sdma_fail_p = cfg.cab_sdma_fail_p;
+            f.mdma_fail_p = cfg.cab_mdma_fail_p;
+            f.wedge_p = cfg.cab_wedge_p;
+            f.csum_error_p = cfg.cab_csum_error_p;
+            ci.cab.faults = f;
+        }
     }
     // Receiver first so the listener exists before the SYN arrives.
     let mut rx = TtcpReceiver::new(RECEIVER_TASK, PORT, cfg.write_size);

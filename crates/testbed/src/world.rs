@@ -186,8 +186,10 @@ impl World {
     /// duration). Hosts are published under `host{i}.*` (kernel, VM, and
     /// per-interface CAB stats, plus `host{i}.cpu.*` for the CPU
     /// accounting), links under `link.h{host}.if{iface}.*` in sorted key
-    /// order, and fabric-wide totals under `world.*`. Iteration orders are
-    /// fixed, so two identical runs snapshot byte-identical registries.
+    /// order, and fabric-wide totals under `world.*` — including
+    /// `world.faults.*`, the per-link fault-injection counters summed over
+    /// every link. Iteration orders are fixed, so two identical runs
+    /// snapshot byte-identical registries.
     pub fn metrics(&self, elapsed: Dur) -> MetricsRegistry {
         let mut reg = MetricsRegistry::new(elapsed);
         for (i, host) in self.hosts.iter().enumerate() {
@@ -198,14 +200,26 @@ impl World {
         }
         let mut keys: Vec<&(usize, IfaceId)> = self.links.keys().collect();
         keys.sort();
+        let mut faults = outboard_netsim::FaultStats::default();
         for key in keys {
             let link = &self.links[key];
             let mut s = reg.scope(&format!("link.h{}.if{}", key.0, key.1 .0));
             link.publish_metrics(&mut s);
+            let f = &link.faults.stats;
+            faults.offered += f.offered;
+            faults.dropped += f.dropped;
+            faults.corrupted += f.corrupted;
+            faults.reordered += f.reordered;
+            faults.duplicated += f.duplicated;
         }
         let mut w = reg.scope("world");
         w.counter("frames_on_fabric", self.frames_on_fabric);
         w.counter("bytes_on_fabric", self.bytes_on_fabric);
+        w.counter("faults.offered", faults.offered);
+        w.counter("faults.dropped", faults.dropped);
+        w.counter("faults.corrupted", faults.corrupted);
+        w.counter("faults.reordered", faults.reordered);
+        w.counter("faults.duplicated", faults.duplicated);
         reg
     }
 

@@ -1,0 +1,255 @@
+//! Fault-matrix soak and recovery tests: the driver's "transient
+//! out-of-resources" philosophy (§4.4.3) under sustained abuse.
+//!
+//! Three scenarios: (1) a soak with simultaneous link faults (drop, corrupt,
+//! duplicate) and CAB allocation failures — the transfer must complete
+//! byte-identical with conservation invariants intact and be deterministic
+//! per seed; (2) network-memory starvation mid-transfer — the interface must
+//! degrade to the traditional path, keep moving bytes, and recover when
+//! memory returns; (3) a wedged SDMA engine — the watchdog must reset the
+//! CAB, rescue outboard socket-buffer bytes, and rebuild transmission with
+//! no data loss.
+
+use outboard::host::MachineConfig;
+use outboard::sim::{Dur, Time};
+use outboard::stack::StackConfig;
+use outboard::testbed::apps::TtcpReceiver;
+use outboard::testbed::experiment::build_ttcp_world;
+use outboard::testbed::{run_ttcp, ExperimentConfig, Metrics, World};
+
+fn base_cfg(total: usize, seed: u64) -> ExperimentConfig {
+    let mut stack = StackConfig::single_copy();
+    stack.force_single_copy = true;
+    let mut cfg = ExperimentConfig::new(MachineConfig::alpha_3000_400(), stack, 64 * 1024);
+    cfg.total_bytes = total;
+    cfg.seed = seed;
+    cfg
+}
+
+/// The invariants that must survive any fault mix. Deliberately does NOT
+/// require `ip.errors == 0`: fault recovery may tear down routes mid-RST.
+fn assert_conserved_under_faults(m: &Metrics, total: usize) {
+    assert!(m.completed, "transfer stalled: {m:?}");
+    assert_eq!(m.bytes, total, "receiver did not read the whole transfer");
+    assert_eq!(m.verify_errors, 0, "payload corrupted end-to-end");
+    let r = &m.stats;
+
+    // Checksum conservation: every transport packet emitted was checksummed
+    // exactly once, outboard or in software — even on retried, parked, or
+    // degraded-path transmissions.
+    for h in 0..2 {
+        let hw = r.counter_value(&format!("host{h}.csum.hw"));
+        let sw = r.counter_value(&format!("host{h}.csum.sw"));
+        let segs = r.counter_value(&format!("host{h}.tcp.segs_out"));
+        let rsts = r.counter_value(&format!("host{h}.tcp.rst_sent"));
+        let udp = r.counter_value(&format!("host{h}.udp.datagrams_out"));
+        assert_eq!(
+            hw + sw,
+            segs + rsts + udp,
+            "host{h}: hw {hw} + sw {sw} checksums != {segs} segs + {rsts} rsts + {udp} dgrams"
+        );
+    }
+
+    // Fabric conservation: per-link admissions sum to the world totals.
+    let link_bytes: u64 = r
+        .iter()
+        .filter(|(name, _)| name.starts_with("link.") && name.ends_with(".bytes_in"))
+        .map(|(name, _)| r.counter_value(name))
+        .sum();
+    assert_eq!(link_bytes, r.counter_value("world.bytes_on_fabric"));
+
+    // The aggregated fault counters must agree with the per-link ones.
+    for fate in ["offered", "dropped", "corrupted", "reordered", "duplicated"] {
+        let per_link: u64 = r
+            .iter()
+            .filter(|(name, _)| {
+                name.starts_with("link.") && name.ends_with(&format!(".faults.{fate}"))
+            })
+            .map(|(name, _)| r.counter_value(name))
+            .sum();
+        assert_eq!(
+            per_link,
+            r.counter_value(&format!("world.faults.{fate}")),
+            "world.faults.{fate} does not aggregate the links"
+        );
+    }
+}
+
+#[test]
+fn fault_matrix_soak_survives_and_verifies() {
+    const TOTAL: usize = 4 * 1024 * 1024;
+    let mut cfg = base_cfg(TOTAL, 1995);
+    cfg.drop_p = 0.05;
+    cfg.corrupt_p = 0.01;
+    cfg.dup_p = 0.01;
+    cfg.cab_alloc_fail_p = 0.05;
+
+    let m = run_ttcp(&cfg);
+    assert_conserved_under_faults(&m, TOTAL);
+
+    // The matrix actually fired: every configured fate occurred, and the
+    // driver retried failed allocations rather than panicking or stalling.
+    let r = &m.stats;
+    assert!(
+        r.counter_value("world.faults.dropped") > 0,
+        "no drops drawn"
+    );
+    assert!(
+        r.counter_value("world.faults.corrupted") > 0,
+        "no corruption drawn"
+    );
+    assert!(
+        r.counter_value("world.faults.duplicated") > 0,
+        "no duplication drawn"
+    );
+    assert!(
+        r.counter_value("host0.cab0.drv.tx_retries") > 0,
+        "alloc failures never exercised the retry path"
+    );
+    assert!(m.retransmits > 0, "link loss should force retransmissions");
+
+    // Determinism: an identically-seeded soak reproduces byte-identically.
+    let m2 = run_ttcp(&cfg);
+    assert_eq!(
+        m.stats.report(),
+        m2.stats.report(),
+        "identically-seeded soaks diverged"
+    );
+
+    // And a different seed draws a different fault history.
+    let mut other = cfg.clone();
+    other.seed = 2025;
+    let m3 = run_ttcp(&other);
+    assert_conserved_under_faults(&m3, TOTAL);
+    assert_ne!(
+        m.stats.report(),
+        m3.stats.report(),
+        "different seeds should not collide"
+    );
+}
+
+fn receiver_bytes(w: &World) -> usize {
+    w.hosts[1].apps[0]
+        .as_ref()
+        .and_then(|a| a.as_any().downcast_ref::<TtcpReceiver>())
+        .map(|r| r.bytes_read)
+        .unwrap_or(0)
+}
+
+fn both_finished(w: &World) -> bool {
+    w.hosts
+        .iter()
+        .all(|h| h.apps[0].as_ref().map(|a| a.finished()).unwrap_or(false))
+}
+
+#[test]
+fn netmem_starvation_degrades_then_recovers() {
+    const TOTAL: usize = 2 * 1024 * 1024;
+    let cfg = base_cfg(TOTAL, 9);
+    let mut w = build_ttcp_world(&cfg);
+    let deadline = Time::ZERO + Dur::secs(30);
+
+    // Let the transfer reach steady state first.
+    let warmed = w.run_while(deadline, |w| receiver_bytes(w) < 256 * 1024);
+    assert!(warmed, "transfer never got going");
+
+    // Squeeze every page of the sender CAB's network memory: allocation
+    // failures are now persistent, not transient.
+    let pages = {
+        let ci = w.hosts[0].kernel.ifaces[0].cab().expect("sender CAB");
+        let p = ci.cab.netmem().pages_total();
+        ci.cab.squeeze_netmem(p);
+        p
+    };
+    assert!(pages > 0);
+
+    // Ride out the retry ladder (base 2 ms doubling, 5 rounds) plus slack:
+    // the driver must give up and fall back to the traditional path.
+    let blackout_end = w.now() + Dur::millis(100);
+    w.run_until(blackout_end);
+    {
+        let ci = w.hosts[0].kernel.ifaces[0].cab().expect("sender CAB");
+        assert!(
+            ci.health.stats.degraded_entries >= 1,
+            "starvation never entered degraded mode: {:?}",
+            ci.health.stats
+        );
+        assert!(
+            ci.health.degraded,
+            "interface should still be degraded while starved"
+        );
+        ci.cab.squeeze_netmem(0);
+    }
+
+    // With memory back, the health probe must re-enable the single-copy
+    // path and the transfer must finish intact.
+    let done = w.run_while(deadline, |w| !both_finished(w));
+    assert!(done, "transfer did not finish after memory returned");
+    let rx = w.hosts[1].apps[0]
+        .as_ref()
+        .and_then(|a| a.as_any().downcast_ref::<TtcpReceiver>())
+        .expect("receiver app");
+    assert_eq!(rx.bytes_read, TOTAL, "data lost across degradation");
+    assert_eq!(rx.verify_errors, 0, "data corrupted across degradation");
+
+    let elapsed = w.now() - Time::ZERO;
+    let r = w.metrics(elapsed);
+    assert!(r.counter_value("host0.cab0.drv.degraded_entries") >= 1);
+    assert!(
+        r.counter_value("host0.cab0.drv.degraded_exits") >= 1,
+        "probe never recovered the interface"
+    );
+    assert!(
+        r.counter_value("host0.cab0.drv.fallback_bytes") > 0,
+        "degraded mode moved no bytes over the traditional path"
+    );
+    assert_eq!(
+        r.counter_value("host0.cab0.drv.degraded"),
+        0,
+        "interface still degraded at the end of the run"
+    );
+}
+
+#[test]
+fn wedged_sdma_engine_is_reset_by_watchdog_without_data_loss() {
+    const TOTAL: usize = 2 * 1024 * 1024;
+    let cfg = base_cfg(TOTAL, 31);
+    let mut w = build_ttcp_world(&cfg);
+    let deadline = Time::ZERO + Dur::secs(30);
+
+    let warmed = w.run_while(deadline, |w| receiver_bytes(w) < 256 * 1024);
+    assert!(warmed, "transfer never got going");
+
+    // Wedge the sender's SDMA engine on its next transfer. The engine stays
+    // wedged until a reset: only the watchdog can get things moving again.
+    w.hosts[0].kernel.ifaces[0]
+        .cab()
+        .expect("sender CAB")
+        .cab
+        .faults
+        .force_sdma_wedge_next();
+
+    let done = w.run_while(deadline, |w| !both_finished(w));
+    assert!(done, "transfer did not finish after the wedge");
+    let rx = w.hosts[1].apps[0]
+        .as_ref()
+        .and_then(|a| a.as_any().downcast_ref::<TtcpReceiver>())
+        .expect("receiver app");
+    assert_eq!(rx.bytes_read, TOTAL, "data lost across the watchdog reset");
+    assert_eq!(rx.verify_errors, 0, "data corrupted across the reset");
+
+    let elapsed = w.now() - Time::ZERO;
+    let r = w.metrics(elapsed);
+    assert!(
+        r.counter_value("host0.cab0.drv.watchdog_resets") >= 1,
+        "watchdog never fired"
+    );
+    assert_eq!(
+        r.counter_value("host0.cab0.drv.degraded"),
+        0,
+        "interface should have recovered after the reset"
+    );
+    // The engine is demonstrably unwedged: the transfer kept using it.
+    let ci = w.hosts[0].kernel.ifaces[0].cab().expect("sender CAB");
+    assert!(!ci.cab.any_engine_wedged());
+}
