@@ -1,5 +1,10 @@
 //! Ablations: §4.4.3 size-based path choice and §4.5 alignment fallback.
+//!
+//! Each ablation is a sweep of independent runs, fanned out across the
+//! shared `--jobs`/`OUTBOARD_JOBS` worker pool and rendered in fixed
+//! order so output is byte-identical to a serial run.
 
+use outboard_bench::sweep::run_sweep;
 use outboard_host::MachineConfig;
 use outboard_stack::StackConfig;
 use outboard_testbed::{run_ttcp, ExperimentConfig};
@@ -17,6 +22,19 @@ fn run(
     run_ttcp(&cfg)
 }
 
+/// The three stack variants of ablation 1, in column order.
+fn ablation1_stack(variant: usize) -> StackConfig {
+    match variant {
+        0 => {
+            let mut forced = StackConfig::single_copy();
+            forced.force_single_copy = true;
+            forced
+        }
+        1 => StackConfig::single_copy(), // adaptive, 16 KB threshold
+        _ => StackConfig::unmodified(),
+    }
+}
+
 fn main() {
     let m = MachineConfig::alpha_3000_400();
     println!("== ablation 1 (§4.4.3): forced single-copy vs adaptive path choice ==\n");
@@ -24,13 +42,13 @@ fn main() {
         "{:>8} | {:>10} {:>10} {:>10}",
         "size_KB", "forced_eff", "adapt_eff", "unmod_eff"
     );
-    for k in [1usize, 4, 8, 16, 64] {
-        let ws = k * 1024;
-        let mut forced = StackConfig::single_copy();
-        forced.force_single_copy = true;
-        let f = run(&m, forced, ws, 0);
-        let a = run(&m, StackConfig::single_copy(), ws, 0); // adaptive, 16 KB threshold
-        let u = run(&m, StackConfig::unmodified(), ws, 0);
+    let ks = [1usize, 4, 8, 16, 64];
+    let items: Vec<(usize, usize)> = ks.iter().flat_map(|&k| [(k, 0), (k, 1), (k, 2)]).collect();
+    let runs = run_sweep("crossover-path-choice", &items, |&(k, variant)| {
+        run(&m, ablation1_stack(variant), k * 1024, 0)
+    });
+    for (i, &k) in ks.iter().enumerate() {
+        let (f, a, u) = (&runs[3 * i], &runs[3 * i + 1], &runs[3 * i + 2]);
         println!(
             "{:>8} | {:>10.0} {:>10.0} {:>10.0}",
             k, f.sender_efficiency_mbps, a.sender_efficiency_mbps, u.sender_efficiency_mbps
@@ -43,11 +61,14 @@ fn main() {
         "{:>10} {:>11} | {:>9} {:>8} {:>9}",
         "misalign_B", "align_split", "thr_Mbps", "util", "eff_Mbps"
     );
-    for (mis, split) in [(0u64, false), (1, false), (2, false), (2, true)] {
+    let align_items = [(0u64, false), (1, false), (2, false), (2, true)];
+    let align_runs = run_sweep("crossover-alignment", &align_items, |&(mis, split)| {
         let mut forced = StackConfig::single_copy();
         forced.force_single_copy = true;
         forced.align_split = split;
-        let r = run(&m, forced, 256 * 1024, mis);
+        run(&m, forced, 256 * 1024, mis)
+    });
+    for ((mis, split), r) in align_items.iter().zip(&align_runs) {
         println!(
             "{:>10} {:>11} | {:>9.1} {:>8.2} {:>9.0}",
             mis, split, r.throughput_mbps, r.sender_utilization, r.sender_efficiency_mbps
@@ -62,11 +83,14 @@ fn main() {
         "{:>6} | {:>9} {:>8} {:>9}",
         "lazy", "thr_Mbps", "util", "eff_Mbps"
     );
-    for lazy in [false, true] {
+    let lazy_items = [false, true];
+    let lazy_runs = run_sweep("crossover-lazy-vm", &lazy_items, |&lazy| {
         let mut stack = StackConfig::single_copy();
         stack.force_single_copy = true;
         stack.lazy_vm = lazy;
-        let r = run(&m, stack, 64 * 1024, 0);
+        run(&m, stack, 64 * 1024, 0)
+    });
+    for (lazy, r) in lazy_items.iter().zip(&lazy_runs) {
         println!(
             "{:>6} | {:>9.1} {:>8.2} {:>9.0}",
             lazy, r.throughput_mbps, r.sender_utilization, r.sender_efficiency_mbps
@@ -79,13 +103,16 @@ fn main() {
         "{:>9} | {:>9} {:>8} {:>9}",
         "window_KB", "thr_Mbps", "util", "eff_Mbps"
     );
-    for wk in [64usize, 128, 256, 512] {
+    let windows = [64usize, 128, 256, 512];
+    let window_runs = run_sweep("crossover-window", &windows, |&wk| {
         let mut stack = StackConfig::unmodified();
         stack.sock_buf = wk * 1024;
         let mut cfg = ExperimentConfig::new(m.clone(), stack, 256 * 1024);
         cfg.total_bytes = 8 * 1024 * 1024;
         cfg.verify = false;
-        let r = run_ttcp(&cfg);
+        run_ttcp(&cfg)
+    });
+    for (wk, r) in windows.iter().zip(&window_runs) {
         println!(
             "{:>9} | {:>9.1} {:>8.2} {:>9.0}",
             wk, r.throughput_mbps, r.sender_utilization, r.sender_efficiency_mbps

@@ -4,6 +4,7 @@
 //! compared with the paper's (which are also the model inputs — this
 //! binary demonstrates the measurement pipeline is faithful end to end).
 
+use outboard_bench::sweep::run_sweep;
 use outboard_host::{MachineConfig, TaskId, VmSystem};
 use outboard_sim::stats::linreg;
 
@@ -11,12 +12,11 @@ fn main() {
     let machine = MachineConfig::alpha_3000_400();
     println!("== Table 2: VM operation cost (us) as a function of pages n ==\n");
     let ns: Vec<f64> = (1..=64).map(|n| n as f64).collect();
-    let mut pin_y = Vec::new();
-    let mut unpin_y = Vec::new();
-    let mut map_y = Vec::new();
-    for &n in &ns {
+    // Each page count measures independently (its own VmSystem); sweep the
+    // points and unzip in order.
+    let costs = run_sweep("table2-vm-costs", &ns, |&nf| {
         let mut vm = VmSystem::new(machine.clone(), false);
-        let n = n as usize;
+        let n = nf as usize;
         let len = n * machine.page_size;
         // prepare = pin + map in one call; measure the pieces separately
         // through the cost functions the same call path uses.
@@ -28,10 +28,11 @@ fn main() {
         let rel = vm.release(TaskId(1), 0, len).as_micros_f64();
         assert!((prep - (pin + map)).abs() < 1e-6);
         assert!((rel - unpin).abs() < 1e-6);
-        pin_y.push(pin);
-        unpin_y.push(unpin);
-        map_y.push(map);
-    }
+        (pin, unpin, map)
+    });
+    let pin_y: Vec<f64> = costs.iter().map(|c| c.0).collect();
+    let unpin_y: Vec<f64> = costs.iter().map(|c| c.1).collect();
+    let map_y: Vec<f64> = costs.iter().map(|c| c.2).collect();
     let rows = [
         ("Pin", linreg(&ns, &pin_y), (35.0, 29.0)),
         ("Unpin", linreg(&ns, &unpin_y), (48.0, 3.9)),

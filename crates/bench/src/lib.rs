@@ -18,6 +18,8 @@ use outboard_host::MachineConfig;
 use outboard_stack::StackConfig;
 use outboard_testbed::{run_ttcp, ExperimentConfig, Metrics};
 
+pub mod sweep;
+
 /// The read/write sizes of Figures 5 and 6 (1 KB .. 512 KB).
 pub fn figure_sizes() -> Vec<usize> {
     (0..10).map(|i| 1024usize << i).collect()
@@ -46,6 +48,52 @@ pub fn figure_point(machine: &MachineConfig, single_copy: bool, write_size: usiz
     run_ttcp(&cfg)
 }
 
+/// One rendered row of Figure 5/6: both stacks plus the raw-HIPPI bound
+/// at a single write size.
+pub struct FigureRow {
+    /// Read/write size in bytes.
+    pub size: usize,
+    /// Unmodified-stack run.
+    pub un: Metrics,
+    /// Single-copy-stack run.
+    pub sc: Metrics,
+    /// Raw HIPPI throughput bound, Mbit/s.
+    pub raw_mbps: f64,
+}
+
+/// Compute every point of one figure, fanning the independent experiment
+/// runs across the sweep runner (`--jobs`/`OUTBOARD_JOBS`). Results come
+/// back in size order, so rendering is identical to a serial run.
+pub fn compute_figure(machine: &MachineConfig) -> Vec<FigureRow> {
+    let sizes = figure_sizes();
+    // Two runs per size, interleaved (un, sc) exactly like the old serial
+    // loop so a `--jobs 1` sweep reproduces the historical run order.
+    let items: Vec<(usize, bool)> = sizes
+        .iter()
+        .flat_map(|&s| [(s, false), (s, true)])
+        .collect();
+    let mut results = sweep::run_sweep("figure", &items, |&(size, sc)| {
+        figure_point(machine, sc, size)
+    })
+    .into_iter();
+    sizes
+        .into_iter()
+        .map(|size| {
+            let un = results.next().expect("figure sweep lost a point");
+            let sc = results.next().expect("figure sweep lost a point");
+            // The raw-HIPPI bound is a closed-form microbench, cheap enough
+            // to fill in serially during row assembly.
+            let raw = outboard_testbed::raw_hippi_throughput(machine, size.min(32 * 1024), 200);
+            FigureRow {
+                size,
+                un,
+                sc,
+                raw_mbps: raw,
+            }
+        })
+        .collect()
+}
+
 /// Render one figure (three panels) as aligned text plus CSV.
 pub fn print_figure(machine: &MachineConfig) {
     println!("# {}", machine.name);
@@ -70,10 +118,13 @@ pub fn print_figure(machine: &MachineConfig) {
     let mut csv = String::from(
         "size_kb,unmodified_mbps,singlecopy_mbps,raw_mbps,unmodified_util,singlecopy_util,unmodified_eff,singlecopy_eff\n",
     );
-    for size in figure_sizes() {
-        let un = figure_point(machine, false, size);
-        let sc = figure_point(machine, true, size);
-        let raw = outboard_testbed::raw_hippi_throughput(machine, size.min(32 * 1024), 200);
+    for row in compute_figure(machine) {
+        let FigureRow {
+            size,
+            un,
+            sc,
+            raw_mbps: raw,
+        } = row;
         // The paper: "The utilization results are for the sender, but the
         // results on the receiver are similar" — report both.
         println!(

@@ -252,7 +252,7 @@ impl Kernel {
                         Ok(ev) => {
                             let data = match &ev {
                                 outboard_cab::CabEvent::SdmaDone { data, .. } => {
-                                    data.clone().unwrap_or_default()
+                                    data.as_ref().cloned().unwrap_or_default()
                                 }
                                 _ => Bytes::new(),
                             };
@@ -315,15 +315,14 @@ impl Kernel {
     }
 
     /// Discard a payload chain, releasing any outboard buffers it covers.
+    /// The chain is owned, so its descriptors are walked in place — no
+    /// intermediate `Vec` of descriptors.
     fn discard_chain(&mut self, chain: Chain) {
-        let descs: Vec<WcabDesc> = chain
-            .iter()
-            .filter_map(|m| match m.data() {
-                MbufData::Wcab(d) => Some(*d),
-                _ => None,
-            })
-            .collect();
-        for d in descs {
+        for m in chain.iter() {
+            let MbufData::Wcab(d) = m.data() else {
+                continue;
+            };
+            let d = *d;
             let packet = PacketId(d.packet);
             self.with_cab(IfaceId(d.cab), |_k, cab| {
                 let done = match cab.rx_remaining.get_mut(&packet) {
@@ -412,10 +411,12 @@ impl Kernel {
     }
 
     /// Pull the transport header bytes out of the chain's kernel prefix.
-    fn transport_header_bytes(&self, chain: &Chain, max: usize) -> Option<Vec<u8>> {
+    /// Zero-copy: `Bytes::slice` just bumps the refcount on the backing
+    /// buffer, so demux never duplicates header bytes.
+    fn transport_header_bytes(&self, chain: &Chain, max: usize) -> Option<Bytes> {
         let first = chain.iter().next()?;
         let b = first.kernel_bytes()?;
-        Some(b.slice(..b.len().min(max)).to_vec())
+        Some(b.slice(..b.len().min(max)))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -527,8 +528,9 @@ impl Kernel {
         let iface_mss = self.ifaces[iface.0 as usize].tcp_mss();
         let buf = self.cfg.sock_buf;
         let nagle = self.effective_nagle();
-        let cfg = self.cfg.clone();
         let iss = self.next_iss();
+        let mut tcb = crate::tcp::Tcb::new(&self.cfg, iss, nagle);
+        tcb.listen(iface_mss, buf);
         let Some(s) = self.sockets.get_mut(&child) else {
             return child;
         };
@@ -536,8 +538,6 @@ impl Kernel {
         s.remote = Some(remote);
         s.iface_hint = Some(iface);
         s.listen_parent = Some(listener);
-        let mut tcb = crate::tcp::Tcb::new(&cfg, iss, nagle);
-        tcb.listen(iface_mss, buf);
         s.tcb = Some(tcb);
         self.conns.insert((Proto::Tcp, local, remote), child);
         child
@@ -869,19 +869,13 @@ impl Kernel {
         // entry chain is not consumed until fully converted).
         let mut converting = 0usize;
         let mut chain_off = 0usize;
-        let descs: Vec<(usize, WcabDesc)> = chain
-            .iter()
-            .map(|m| {
-                let r = (chain_off, m);
-                chain_off += m.len();
-                r
-            })
-            .filter_map(|(off, m)| match m.data() {
-                MbufData::Wcab(d) => Some((off, *d)),
-                _ => None,
-            })
-            .collect();
-        for (off, d) in &descs {
+        for m in chain.iter() {
+            let off = chain_off;
+            chain_off += m.len();
+            let MbufData::Wcab(d) = m.data() else {
+                continue;
+            };
+            let d = *d;
             converting += d.len;
             self.stats.wcab_to_regular += 1;
             let packet = PacketId(d.packet);
@@ -889,7 +883,7 @@ impl Kernel {
             let purpose = SdmaPurpose::RxToKernel {
                 sock,
                 serial,
-                chain_off: *off,
+                chain_off: off,
                 len: d.len,
             };
             self.with_cab(iface, |k, cab| {

@@ -167,6 +167,9 @@ pub struct Kernel {
     pub mbuf_stats: MbufStats,
     /// Mechanism-level event trace.
     pub trace: Trace,
+    /// Reusable scratch buffer for header assembly and descriptor reads on
+    /// the transmit/checksum hot paths (grown once, then recycled).
+    pub(crate) scratch: Vec<u8>,
 }
 
 impl Kernel {
@@ -196,6 +199,7 @@ impl Kernel {
             tcp_closed: TcpStats::default(),
             mbuf_stats: MbufStats::default(),
             trace: Trace::new(16 * 1024),
+            scratch: Vec::new(),
         }
     }
 
@@ -367,14 +371,14 @@ impl Kernel {
     /// `listen(2)`: turn a bound TCP socket into a listener.
     pub fn sys_listen(&mut self, sock: SockId) -> Result<(), StackError> {
         let nagle = self.effective_nagle();
-        let cfg = self.cfg.clone();
-        let s = self.sockets.get_mut(&sock).ok_or(StackError::BadSocket)?;
+        let s = self.sockets.get(&sock).ok_or(StackError::BadSocket)?;
         let buf = s.so_rcv.hiwat;
         if s.proto != Proto::Tcp {
             return Err(StackError::InvalidState("listen on non-TCP socket"));
         }
-        let mut tcb = Tcb::new(&cfg, 0, nagle);
+        let mut tcb = Tcb::new(&self.cfg, 0, nagle);
         tcb.listen(536, buf);
+        let s = self.sockets.get_mut(&sock).ok_or(StackError::BadSocket)?;
         s.tcb = Some(tcb);
         Ok(())
     }
@@ -412,18 +416,20 @@ impl Kernel {
         let local = SockAddr::new(local_ip, port);
 
         let nagle = self.effective_nagle();
-        let cfg = self.cfg.clone();
         let iss = self.next_iss();
         {
-            let s = self.sockets.get_mut(&sock).ok_or(StackError::BadSocket)?;
+            let s = self.sockets.get(&sock).ok_or(StackError::BadSocket)?;
             if s.remote.is_some() {
                 return Err(StackError::AlreadyConnected);
             }
+        }
+        let mut tcb = Tcb::new(&self.cfg, iss, nagle);
+        {
+            let s = self.sockets.get_mut(&sock).ok_or(StackError::BadSocket)?;
             let buf = s.so_rcv.hiwat;
             s.local = Some(local);
             s.remote = Some(dst);
             s.iface_hint = Some(iface_id);
-            let mut tcb = Tcb::new(&cfg, iss, nagle);
             tcb.connect(mss, buf);
             s.tcb = Some(tcb);
             s.connector = Some(task);

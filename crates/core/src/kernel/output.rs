@@ -394,21 +394,27 @@ impl Kernel {
             match m.data() {
                 MbufData::Kernel(b) => outb.extend_from_slice(b),
                 MbufData::Uio(d) => {
-                    let mut buf = vec![0u8; d.len];
-                    if mem.read_user(d.region.task, d.vaddr(), &mut buf).is_err() {
+                    // Read straight into the output tail; no temporary.
+                    let at = outb.len();
+                    outb.resize(at + d.len, 0);
+                    if mem
+                        .read_user(d.region.task, d.vaddr(), &mut outb[at..])
+                        .is_err()
+                    {
                         self.stats.user_mem_faults += 1;
                     }
-                    outb.extend_from_slice(&buf);
                 }
                 MbufData::Wcab(d) => {
                     // A buffer lost to a board reset reads as zeros; the
                     // peer's checksum rejects the segment and TCP recovers.
-                    let mut buf = vec![0u8; d.len];
+                    let at = outb.len();
+                    outb.resize(at + d.len, 0);
                     let iface = &self.ifaces[d.cab as usize];
                     if let IfaceKind::Cab(c) = &iface.kind {
-                        let _ = c.cab.read_packet(PacketId(d.packet), d.off, &mut buf);
+                        let _ = c
+                            .cab
+                            .read_packet(PacketId(d.packet), d.off, &mut outb[at..]);
                     }
-                    outb.extend_from_slice(&buf);
                 }
             }
         }
@@ -420,26 +426,35 @@ impl Kernel {
     pub(crate) fn software_chain_sum(&mut self, chain: &Chain, mem: &HostMem) -> u16 {
         use outboard_host::UserMemory;
         let mut acc = Accumulator::new();
+        // External descriptors resolve through the recycled scratch buffer
+        // instead of a fresh allocation per mbuf.
+        let mut scratch = std::mem::take(&mut self.scratch);
         for m in chain.iter() {
             match m.data() {
                 MbufData::Kernel(b) => acc.add_bytes(b),
                 MbufData::Uio(d) => {
-                    let mut buf = vec![0u8; d.len];
-                    if mem.read_user(d.region.task, d.vaddr(), &mut buf).is_err() {
+                    scratch.clear();
+                    scratch.resize(d.len, 0);
+                    if mem
+                        .read_user(d.region.task, d.vaddr(), &mut scratch)
+                        .is_err()
+                    {
                         self.stats.user_mem_faults += 1;
                     }
-                    acc.add_bytes(&buf);
+                    acc.add_bytes(&scratch);
                 }
                 MbufData::Wcab(d) => {
-                    let mut buf = vec![0u8; d.len];
+                    scratch.clear();
+                    scratch.resize(d.len, 0);
                     let iface = &self.ifaces[d.cab as usize];
                     if let IfaceKind::Cab(c) = &iface.kind {
-                        let _ = c.cab.read_packet(PacketId(d.packet), d.off, &mut buf);
+                        let _ = c.cab.read_packet(PacketId(d.packet), d.off, &mut scratch);
                     }
-                    acc.add_bytes(&buf);
+                    acc.add_bytes(&scratch);
                 }
             }
         }
+        self.scratch = scratch;
         acc.partial()
     }
 
@@ -561,19 +576,23 @@ impl Kernel {
                                 .unwrap_or(false)
                             && d.cab == iface_id.0;
                         if geom_ok {
-                            let mut header = Vec::with_capacity(full_hdr_len);
+                            // Assemble the fresh header in the kernel's
+                            // scratch buffer: no intermediate chain or
+                            // flatten allocation, and the buffer's capacity
+                            // is recycled across segments.
+                            let mut header = std::mem::take(&mut k.scratch);
+                            header.clear();
                             header.extend_from_slice(&hippi.build());
                             header.extend_from_slice(&ip_bytes);
-                            header.extend_from_slice(
-                                &transport
-                                    .copy_range(0, thdr_len)
-                                    .flatten_kernel()
-                                    .unwrap_or_default(),
-                            );
+                            let at = header.len();
+                            header.resize(at + thdr_len, 0);
+                            transport.copy_kernel_out(0, &mut header[at..]);
+                            let hdr_bytes = Bytes::copy_from_slice(&header);
+                            k.scratch = header;
                             let token = cab.issue(SdmaPurpose::TxPlain);
                             let req = SdmaTx {
                                 packet,
-                                sg: vec![SgEntry::Inline(Bytes::from(header))],
+                                sg: vec![SgEntry::Inline(hdr_bytes)],
                                 csum: spec,
                                 reuse_body_csum: true,
                                 interrupt_on_complete: false,
@@ -634,7 +653,10 @@ impl Kernel {
             }
 
             // --- Normal path: gather everything, then allocate and DMA.
-            let mut header = Vec::with_capacity(full_hdr_len);
+            // The frame header is assembled in the recycled scratch buffer
+            // (restored right after it is frozen into `Bytes` below).
+            let mut header = std::mem::take(&mut k.scratch);
+            header.clear();
             header.extend_from_slice(&hippi.build());
             header.extend_from_slice(&ip_bytes);
             let mut sg: Vec<SgEntry> = Vec::new();
@@ -698,7 +720,8 @@ impl Kernel {
                     }
                 }
             }
-            sg.insert(0, SgEntry::Inline(Bytes::from(header)));
+            sg.insert(0, SgEntry::Inline(Bytes::copy_from_slice(&header)));
+            k.scratch = header;
             let mut purpose = match (uio_bytes > 0, meta.sock) {
                 (true, Some(sock)) => SdmaPurpose::TxSegment {
                     sock,
@@ -879,20 +902,24 @@ impl Kernel {
             match m.data() {
                 MbufData::Kernel(b) => out.extend_from_slice(b),
                 MbufData::Uio(d) => {
-                    let mut buf = vec![0u8; d.len];
-                    if mem.read_user(d.region.task, d.vaddr(), &mut buf).is_err() {
+                    // Resolve straight into the output tail; no temporary.
+                    let at = out.len();
+                    out.resize(at + d.len, 0);
+                    if mem
+                        .read_user(d.region.task, d.vaddr(), &mut out[at..])
+                        .is_err()
+                    {
                         self.stats.user_mem_faults += 1;
                     }
-                    out.extend_from_slice(&buf);
                     uio_copied += d.len;
                 }
                 MbufData::Wcab(d) => {
-                    let mut buf = vec![0u8; d.len];
+                    let at = out.len();
+                    out.resize(at + d.len, 0);
                     let iface = &self.ifaces[d.cab as usize];
                     if let IfaceKind::Cab(c) = &iface.kind {
-                        let _ = c.cab.read_packet(PacketId(d.packet), d.off, &mut buf);
+                        let _ = c.cab.read_packet(PacketId(d.packet), d.off, &mut out[at..]);
                     }
-                    out.extend_from_slice(&buf);
                     wcab_copied += d.len;
                 }
             }

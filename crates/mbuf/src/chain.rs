@@ -232,11 +232,35 @@ impl Chain {
     /// range touches a non-kernel mbuf (protocol headers are always kernel
     /// resident, which is what input paths rely on).
     pub fn copy_kernel_out(&self, off: usize, dst: &mut [u8]) {
-        let copied = self.copy_range(off, dst.len());
-        let flat = copied
-            .flatten_kernel()
-            .expect("copy_kernel_out over non-kernel data");
-        dst.copy_from_slice(&flat);
+        assert!(
+            off + dst.len() <= self.len,
+            "copy_kernel_out({off},{}) beyond chain len {}",
+            dst.len(),
+            self.len
+        );
+        // Walk segments directly: no intermediate descriptor chain, no
+        // flattened Vec — one copy straight into the caller's buffer.
+        let mut skip = off;
+        let mut filled = 0usize;
+        for m in &self.mbufs {
+            if filled == dst.len() {
+                break;
+            }
+            let mlen = m.len();
+            if skip >= mlen {
+                skip -= mlen;
+                continue;
+            }
+            let take = (mlen - skip).min(dst.len() - filled);
+            match m.data() {
+                MbufData::Kernel(b) => {
+                    dst[filled..filled + take].copy_from_slice(&b[skip..skip + take])
+                }
+                _ => panic!("copy_kernel_out over non-kernel data"),
+            }
+            filled += take;
+            skip = 0;
+        }
     }
 
     /// Take all mbufs out of the chain (driver hand-off).

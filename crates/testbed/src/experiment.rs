@@ -108,6 +108,9 @@ pub struct Metrics {
     pub hw_checksums: u64,
     /// Packets checksummed in software.
     pub sw_checksums: u64,
+    /// Simulation events the engine dispatched during the run (the perf
+    /// harness divides by wall time for an events/sec figure).
+    pub events_dispatched: u64,
     /// Full metrics snapshot of the world at the end of the run (hosts,
     /// links, fabric totals) over the run's elapsed virtual time.
     pub stats: MetricsRegistry,
@@ -248,6 +251,7 @@ pub fn run_ttcp(cfg: &ExperimentConfig) -> Metrics {
         header_only_retransmits: header_only,
         hw_checksums,
         sw_checksums,
+        events_dispatched: w.events_dispatched,
         stats,
     }
 }

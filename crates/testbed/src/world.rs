@@ -155,6 +155,9 @@ pub struct World {
     pub bytes_on_fabric: u64,
     /// Optional tcpdump-style capture of every frame entering a link.
     pub capture: Option<Capture>,
+    /// Events dispatched by the engine (wall-clock work proxy for the
+    /// perf harness's events/sec figure).
+    pub events_dispatched: u64,
 }
 
 impl World {
@@ -171,6 +174,7 @@ impl World {
             frames_on_fabric: 0,
             bytes_on_fabric: 0,
             capture: None,
+            events_dispatched: 0,
         }
     }
 
@@ -213,6 +217,7 @@ impl World {
             faults.duplicated += f.duplicated;
         }
         let mut w = reg.scope("world");
+        w.counter("events_dispatched", self.events_dispatched);
         w.counter("frames_on_fabric", self.frames_on_fabric);
         w.counter("bytes_on_fabric", self.bytes_on_fabric);
         w.counter("faults.offered", faults.offered);
@@ -476,6 +481,7 @@ impl World {
     }
 
     fn dispatch(&mut self, ev: Event, now: Time) {
+        self.events_dispatched += 1;
         match ev {
             Event::AppStep { host, task } => {
                 let finished = self.hosts[host]

@@ -95,6 +95,14 @@ impl Accumulator {
     }
 
     /// Append bytes to the running sum.
+    ///
+    /// The inner loop folds 8-byte lanes: because `2^16 ≡ 1 (mod 0xFFFF)`,
+    /// summing 32-bit big-endian words gives the same folded 16-bit value
+    /// as summing 16-bit words, so each chunk contributes two `u32` reads
+    /// instead of four `u16` reads. Byte parity across calls is preserved
+    /// by the same `odd` bookkeeping as the scalar path, and
+    /// [`Accumulator::add_bytes_scalar`] remains as the property-tested
+    /// reference.
     pub fn add_bytes(&mut self, mut data: &[u8]) {
         self.len += data.len();
         if self.odd && !data.is_empty() {
@@ -103,20 +111,65 @@ impl Accumulator {
             data = &data[1..];
             self.odd = false;
         }
+        // Bound each block so its local sum stays far from u64 overflow
+        // (a 1 GiB block of 0xFFFFFFFF words sums to < 2^60). The block
+        // size is a multiple of 8, so only the final block sees a lane
+        // remainder or an odd tail.
+        const BLOCK: usize = 1 << 30;
+        for block in data.chunks(BLOCK) {
+            let mut s: u64 = 0;
+            let mut lanes = block.chunks_exact(8);
+            for c in &mut lanes {
+                s += u32::from_be_bytes([c[0], c[1], c[2], c[3]]) as u64
+                    + u32::from_be_bytes([c[4], c[5], c[6], c[7]]) as u64;
+            }
+            let rem = lanes.remainder();
+            let mut words = rem.chunks_exact(2);
+            for c in &mut words {
+                s += u16::from_be_bytes([c[0], c[1]]) as u64;
+            }
+            // Fold lazily, only when the running sum gets near the top of
+            // the u64 range (not on every call): ones-complement folding
+            // commutes with addition, so deferring it is free, and eager
+            // per-call folds cost a loop on the hot path.
+            if self.sum >= FOLD_AT {
+                self.sum = fold_u64(self.sum);
+            }
+            self.sum += s;
+            let tail = words.remainder();
+            if !tail.is_empty() {
+                self.sum += (tail[0] as u64) << 8;
+                self.odd = true;
+            }
+        }
+    }
+
+    /// Reference scalar path: 16-bit words, one at a time. Kept `pub` so
+    /// property tests and the perf harness can compare the wide-lane
+    /// [`Accumulator::add_bytes`] against it on arbitrary split boundaries.
+    pub fn add_bytes_scalar(&mut self, mut data: &[u8]) {
+        self.len += data.len();
+        if self.odd && !data.is_empty() {
+            self.sum += data[0] as u64;
+            data = &data[1..];
+            self.odd = false;
+        }
         let mut chunks = data.chunks_exact(2);
         let mut s: u64 = 0;
         for c in &mut chunks {
             s += u16::from_be_bytes([c[0], c[1]]) as u64;
+            if s >= FOLD_AT {
+                s = fold_u64(s);
+            }
+        }
+        if self.sum >= FOLD_AT {
+            self.sum = fold_u64(self.sum);
         }
         self.sum += s;
         let rem = chunks.remainder();
         if !rem.is_empty() {
             self.sum += (rem[0] as u64) << 8;
             self.odd = true;
-        }
-        // Keep the accumulator well away from overflow.
-        if self.sum > u32::MAX as u64 {
-            self.sum = fold_u64(self.sum);
         }
     }
 
@@ -147,6 +200,12 @@ impl Accumulator {
         Checksum(!self.partial())
     }
 }
+
+/// Lazy-fold threshold: a running sum is folded only when it could
+/// plausibly overflow with one more block's worth of additions (a 1 GiB
+/// block of maximal words adds < 2^60). Far above `u32::MAX`, which the
+/// accumulator used to fold at on every call.
+const FOLD_AT: u64 = 1 << 62;
 
 #[inline]
 fn fold_u64(mut sum: u64) -> u64 {
@@ -218,6 +277,34 @@ mod tests {
             combined.add_partial(a.partial());
             combined.add_partial(b.partial());
             assert_eq!(whole.partial(), combined.partial(), "split at {split}");
+        }
+    }
+
+    /// The wide-lane loop and the scalar reference agree on every length
+    /// and alignment in a window that covers all lane/word/tail cases.
+    #[test]
+    fn wide_lanes_match_scalar_reference() {
+        let data: Vec<u8> = (0u8..=255).cycle().take(4096).collect();
+        for start in 0..9 {
+            for len in 0..64 {
+                let slice = &data[start..start + len];
+                let mut wide = Accumulator::new();
+                wide.add_bytes(slice);
+                let mut scalar = Accumulator::new();
+                scalar.add_bytes_scalar(slice);
+                assert_eq!(wide.partial(), scalar.partial(), "start {start} len {len}");
+                assert_eq!(wide.len(), scalar.len());
+            }
+        }
+        // Odd-parity carry across calls: split a buffer at every point and
+        // feed the halves to different paths.
+        let buf = &data[..257];
+        let whole = Checksum::of(buf);
+        for split in 0..buf.len() {
+            let mut acc = Accumulator::new();
+            acc.add_bytes(&buf[..split]);
+            acc.add_bytes_scalar(&buf[split..]);
+            assert_eq!(acc.finish(), whole, "split {split}");
         }
     }
 
@@ -338,6 +425,28 @@ mod proptests {
             }
             acc.add_bytes(&data[prev..]);
             prop_assert_eq!(acc.finish(), whole);
+        }
+
+        /// The 8-byte-lane path equals the scalar reference under any
+        /// chunking of the input (parity carries across both).
+        #[test]
+        fn wide_equals_scalar_any_chunking(data in proptest::collection::vec(any::<u8>(), 0..4096),
+                                           cuts in proptest::collection::vec(0usize..4096, 0..6)) {
+            let mut cuts: Vec<usize> = cuts.into_iter().map(|c| c % (data.len() + 1)).collect();
+            cuts.sort_unstable();
+            let mut wide = Accumulator::new();
+            let mut scalar = Accumulator::new();
+            let mut prev = 0;
+            for c in cuts {
+                let c = c.max(prev);
+                wide.add_bytes(&data[prev..c]);
+                scalar.add_bytes_scalar(&data[prev..c]);
+                prev = c;
+            }
+            wide.add_bytes(&data[prev..]);
+            scalar.add_bytes_scalar(&data[prev..]);
+            prop_assert_eq!(wide.partial(), scalar.partial());
+            prop_assert_eq!(wide.len(), scalar.len());
         }
 
         /// Word-aligned partial sums always recombine exactly.

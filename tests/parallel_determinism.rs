@@ -1,0 +1,169 @@
+//! Parallel sweeps must be byte-identical to serial runs, and the widened
+//! checksum inner loop must match the scalar reference on any split.
+
+use outboard_bench::sweep::run_sweep_jobs;
+use outboard_host::MachineConfig;
+use outboard_stack::StackConfig;
+use outboard_testbed::{run_ttcp, ExperimentConfig, Metrics};
+use outboard_wire::checksum::Accumulator;
+use proptest::prelude::*;
+
+fn experiment(
+    machine: &MachineConfig,
+    single_copy: bool,
+    write_size: usize,
+    seed: u64,
+) -> ExperimentConfig {
+    let stack = if single_copy {
+        let mut s = StackConfig::single_copy();
+        s.force_single_copy = true;
+        s
+    } else {
+        StackConfig::unmodified()
+    };
+    let mut cfg = ExperimentConfig::new(machine.clone(), stack, write_size);
+    cfg.total_bytes = 256 * 1024;
+    cfg.verify = false;
+    cfg.seed = seed;
+    cfg
+}
+
+/// Render every externally-visible result of a run: the full Metrics plus
+/// the report and JSON the bench binaries print/persist.
+fn canon(m: &Metrics) -> String {
+    format!(
+        "{:?}|{:?}|{}|{:?}|{:?}|{:?}|{:?}|{:?}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
+        m.completed,
+        m.elapsed,
+        m.bytes,
+        m.throughput_mbps,
+        m.sender_utilization,
+        m.receiver_utilization,
+        m.sender_efficiency_mbps,
+        m.receiver_efficiency_mbps,
+        m.retransmits,
+        m.verify_errors,
+        m.writes,
+        m.header_only_retransmits,
+        m.hw_checksums,
+        m.sw_checksums,
+        m.events_dispatched,
+        m.stats.report(),
+        m.stats.to_json()
+    )
+}
+
+/// fig5/fig6-style sweep: (machine, size, single_copy) items over multiple
+/// seeds, `--jobs 1` vs `--jobs 4` must agree on every rendered byte.
+#[test]
+fn figure_sweeps_match_serial() {
+    let machines = [
+        MachineConfig::alpha_3000_400(),
+        MachineConfig::alpha_3000_300lx(),
+    ];
+    for machine in &machines {
+        for seed in [1u64, 42] {
+            let items: Vec<(usize, bool)> = [1024usize, 8192]
+                .iter()
+                .flat_map(|&s| [(s, false), (s, true)])
+                .collect();
+            let f = |&(size, sc): &(usize, bool)| {
+                canon(&run_ttcp(&experiment(machine, sc, size, seed)))
+            };
+            let serial = run_sweep_jobs("determinism-serial", 1, &items, f);
+            let parallel = run_sweep_jobs("determinism-parallel", 4, &items, f);
+            assert_eq!(
+                serial, parallel,
+                "parallel sweep diverged from serial ({}, seed {seed})",
+                machine.name
+            );
+        }
+    }
+}
+
+/// Crossover-style sweep (misalignment + window-size variants) under
+/// parallel execution.
+#[test]
+fn crossover_sweep_matches_serial() {
+    let machine = MachineConfig::alpha_3000_400();
+    let items: Vec<(u64, usize)> = vec![(0, 64), (1, 64), (2, 128), (0, 512)];
+    let f = |&(mis, sock_kb): &(u64, usize)| {
+        let mut cfg = experiment(&machine, true, 32 * 1024, 42);
+        cfg.sender_misalign = mis;
+        cfg.stack.sock_buf = sock_kb * 1024;
+        canon(&run_ttcp(&cfg))
+    };
+    let serial = run_sweep_jobs("crossover-serial", 1, &items, f);
+    let parallel = run_sweep_jobs("crossover-parallel", 4, &items, f);
+    assert_eq!(serial, parallel);
+}
+
+/// Repeated parallel executions of the same sweep agree with each other
+/// (no run-to-run scheduling sensitivity).
+#[test]
+fn parallel_sweep_is_stable_across_executions() {
+    let machine = MachineConfig::alpha_3000_400();
+    let items: Vec<usize> = vec![1024, 4096, 16384];
+    let f = |&size: &usize| canon(&run_ttcp(&experiment(&machine, true, size, 7)));
+    let a = run_sweep_jobs("stability-a", 4, &items, f);
+    let b = run_sweep_jobs("stability-b", 4, &items, f);
+    assert_eq!(a, b);
+}
+
+/// Satellite regression: the lazy overflow fold must survive > 4 GB of
+/// accumulated data (the old eager guard folded per call; the new one
+/// folds only near the u64 boundary — and the 16-bit result must still
+/// be exact). 0xFF bytes are the worst case: every lane adds the maximum.
+#[test]
+fn checksum_survives_4gb_accumulated_length() {
+    let block = vec![0xFFu8; 8 * 1024 * 1024];
+    let mut acc = Accumulator::new();
+    let adds = 513; // 513 * 8 MiB = 4.008 GiB > 4 GiB
+    for _ in 0..adds {
+        acc.add_bytes(&block);
+    }
+    assert_eq!(acc.len(), adds * block.len());
+    // All-ones data sums to the all-ones partial regardless of length.
+    assert_eq!(acc.partial(), 0xFFFF);
+}
+
+/// The >4 GB path with mixed data and odd splits: wide and scalar agree.
+#[test]
+fn checksum_wide_matches_scalar_past_4gb() {
+    let block: Vec<u8> = (0..(8 * 1024 * 1024 + 1))
+        .map(|i| (i * 131 + 17) as u8)
+        .collect();
+    let mut wide = Accumulator::new();
+    let mut scalar = Accumulator::new();
+    for _ in 0..513 {
+        wide.add_bytes(&block);
+        scalar.add_bytes_scalar(&block);
+    }
+    assert_eq!(wide.len(), scalar.len());
+    assert!(wide.len() > 4 * 1024 * 1024 * 1024usize);
+    assert_eq!(wide.partial(), scalar.partial());
+}
+
+proptest! {
+    /// Wide-lane checksum == scalar reference for arbitrary data fed as
+    /// arbitrary split boundaries (odd-byte carries cross call edges).
+    #[test]
+    fn wide_equals_scalar_on_arbitrary_splits(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        cuts in proptest::collection::vec(0usize..2048, 0..8),
+    ) {
+        let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (data.len() + 1)).collect();
+        bounds.push(0);
+        bounds.push(data.len());
+        bounds.sort_unstable();
+        let mut wide = Accumulator::new();
+        let mut scalar = Accumulator::new();
+        for w in bounds.windows(2) {
+            wide.add_bytes(&data[w[0]..w[1]]);
+            scalar.add_bytes_scalar(&data[w[0]..w[1]]);
+        }
+        prop_assert_eq!(wide.partial(), scalar.partial());
+        prop_assert_eq!(wide.len(), data.len());
+        prop_assert_eq!(scalar.len(), data.len());
+    }
+}

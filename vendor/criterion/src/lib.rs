@@ -115,6 +115,44 @@ fn run_one(
     );
 }
 
+/// Result of a silent measurement run (see [`measure_ns`]): mean
+/// nanoseconds per iteration over the timed batch.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Mean wall nanoseconds per iteration.
+    pub per_iter_ns: f64,
+    /// Timed iterations.
+    pub iters: u64,
+}
+
+impl Measurement {
+    /// Throughput in MB/s (decimal megabytes) given bytes processed per
+    /// iteration.
+    pub fn mb_per_sec(&self, bytes_per_iter: u64) -> f64 {
+        if self.per_iter_ns <= 0.0 {
+            return 0.0;
+        }
+        bytes_per_iter as f64 / 1e6 / (self.per_iter_ns / 1e9)
+    }
+}
+
+/// Measure a closure with the same warm-up + timed-batch loop the printed
+/// benches use, but return the numbers instead of printing — for harnesses
+/// (like the perf binary) that persist measurements to JSON.
+pub fn measure_ns<F: FnMut()>(iters: u64, mut f: F) -> Measurement {
+    let mut b = Bencher {
+        iters: iters.max(1),
+        elapsed: Duration::ZERO,
+    };
+    b.measure(|| {
+        std::hint::black_box(&mut f)();
+    });
+    Measurement {
+        per_iter_ns: b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64,
+        iters: b.iters,
+    }
+}
+
 /// Top-level benchmark driver.
 pub struct Criterion {
     default_iters: u64,
