@@ -186,7 +186,7 @@ mod more {
                     )
                     .unwrap();
                 now = ev.at();
-                cab.free_packet(pkt);
+                cab.free_packet(pkt, now);
                 std::hint::black_box(now)
             })
         });

@@ -22,6 +22,7 @@ use crate::config::CabConfig;
 use crate::engine::EngineTimeline;
 use crate::fault::{FaultInjector, TransferFault};
 use crate::netmem::{NetworkMemory, PacketId};
+use crate::ownership::{DmaEngine, DmaOwnershipViolation};
 use bytes::Bytes;
 use outboard_host::{MemFault, TaskId, UserMemory};
 use outboard_sim::obs::Scope;
@@ -204,6 +205,11 @@ pub enum CabError {
     /// The named engine is wedged: it accepts nothing further until the
     /// driver resets the board.
     EngineWedged(&'static str),
+    /// A DMA ownership invariant was violated (overlapping engines,
+    /// use-after-free, free-while-DMA). Only constructed when the
+    /// `dma-check` feature is on; without it the same access proceeds
+    /// silently, exactly as the real hardware would corrupt silently.
+    Ownership(DmaOwnershipViolation),
 }
 
 impl CabError {
@@ -222,6 +228,7 @@ impl std::fmt::Display for CabError {
             CabError::MemFault(m) => write!(f, "{m}"),
             CabError::DmaError(s) => write!(f, "transient dma error: {s}"),
             CabError::EngineWedged(e) => write!(f, "{e} engine wedged"),
+            CabError::Ownership(v) => write!(f, "dma ownership violation: {v}"),
         }
     }
 }
@@ -334,9 +341,42 @@ impl Cab {
     }
 
     /// Host command: free a packet buffer (on TCP acknowledgement or after
-    /// the last receive copy-out).
-    pub fn free_packet(&mut self, id: PacketId) -> bool {
+    /// the last receive copy-out). `now` is when the host issues the
+    /// command; with `dma-check` on, a free inside an engine's open
+    /// transfer window is refused and recorded — the hazard the paper's
+    /// DMA-counter handshake (§4.4.2) exists to prevent.
+    pub fn free_packet(&mut self, id: PacketId, now: Time) -> bool {
+        #[cfg(not(feature = "dma-check"))]
+        let _ = now;
+        #[cfg(feature = "dma-check")]
+        if self.netmem.journal_check_host_free(id, now).is_err() {
+            return false;
+        }
         self.netmem.free(id)
+    }
+
+    /// Ownership violations recorded by the `dma-check` journal.
+    #[cfg(feature = "dma-check")]
+    pub fn ownership_violations(&self) -> &[DmaOwnershipViolation] {
+        self.netmem.journal_violations()
+    }
+
+    /// Transfer windows the `dma-check` journal has recorded (lets tests
+    /// assert the checker actually observed traffic).
+    #[cfg(feature = "dma-check")]
+    pub fn ownership_transitions(&self) -> u64 {
+        self.netmem.journal_transitions()
+    }
+
+    /// `UnknownPacket`, upgraded to a use-after-free ownership violation
+    /// when the id was live once and `dma-check` is on (ids are never
+    /// reused, so a dangling DMA is distinguishable from a typo).
+    fn missing_packet(&mut self, id: PacketId, _engine: DmaEngine, _now: Time) -> CabError {
+        #[cfg(feature = "dma-check")]
+        if let Err(v) = self.netmem.journal_check_transfer(id, _engine, _now) {
+            return CabError::Ownership(v);
+        }
+        CabError::UnknownPacket(id)
     }
 
     /// Engine-time bookkeeping for a host-bus transfer.
@@ -384,12 +424,9 @@ impl Cab {
             }
         }
         let total: usize = req.sg.iter().map(|e| e.len()).sum();
-        let (pkt_cap, pkt_valid, pkt_saved_csum) = {
-            let p = self
-                .netmem
-                .get(req.packet)
-                .ok_or(CabError::UnknownPacket(req.packet))?;
-            (p.cap, p.valid, p.saved_body_csum)
+        let (pkt_cap, pkt_valid, pkt_saved_csum) = match self.netmem.get(req.packet) {
+            Some(p) => (p.cap, p.valid, p.saved_body_csum),
+            None => return Err(self.missing_packet(req.packet, DmaEngine::Sdma, now)),
         };
 
         if req.reuse_body_csum {
@@ -423,11 +460,22 @@ impl Cab {
             }
         }
 
+        // Would this transfer overlap another engine's claim on the buffer?
+        #[cfg(feature = "dma-check")]
+        self.netmem
+            .journal_check_transfer(req.packet, DmaEngine::Sdma, now)
+            .map_err(CabError::Ownership)?;
+
         // Injected fault draw: after validation (malformed requests never
         // reach the engine), before any state is committed.
         match self.faults.sdma_fate() {
             Some(TransferFault::Wedge) => {
                 self.sdma.wedge();
+                // The engine stalled mid-gather: it holds the buffer until
+                // board reset (open-ended window).
+                #[cfg(feature = "dma-check")]
+                self.netmem
+                    .journal_record(req.packet, DmaEngine::Sdma, None);
                 return Err(CabError::EngineWedged("sdma"));
             }
             Some(TransferFault::Error) => {
@@ -456,6 +504,19 @@ impl Cab {
         let misaligned = self.count_misaligned(&req.sg);
         let extra = self.sdma_cost_extra(req.sg.len(), misaligned);
         let done = self.sdma.run(now, extra, total, self.cfg.sdma_bps());
+
+        // The gather occupies the buffer for [now, done); the checksum
+        // engine computes during the same window (§4.3's sanctioned
+        // concurrency).
+        #[cfg(feature = "dma-check")]
+        {
+            self.netmem
+                .journal_record(req.packet, DmaEngine::Sdma, Some(done));
+            if req.csum.is_some() {
+                self.netmem
+                    .journal_record(req.packet, DmaEngine::ChecksumEngine, Some(done));
+            }
+        }
 
         // Commit to network memory and run the checksum engine.
         let pkt = self
@@ -519,16 +580,27 @@ impl Cab {
                 return Err(CabError::BadRequest("user destination not word aligned"));
             }
         }
-        let pkt = self
-            .netmem
-            .get(req.packet)
-            .ok_or(CabError::UnknownPacket(req.packet))?;
-        if req.src_off + req.len > pkt.valid {
+        let pkt_valid = match self.netmem.get(req.packet) {
+            Some(p) => p.valid,
+            None => return Err(self.missing_packet(req.packet, DmaEngine::Sdma, now)),
+        };
+        if req.src_off + req.len > pkt_valid {
             return Err(CabError::BadRequest("copy-out beyond valid packet data"));
         }
+        #[cfg(feature = "dma-check")]
+        self.netmem
+            .journal_check_transfer(req.packet, DmaEngine::Sdma, now)
+            .map_err(CabError::Ownership)?;
         match self.faults.sdma_fate() {
             Some(TransferFault::Wedge) => {
                 self.sdma.wedge();
+                // Stalled mid-copy-out: the buffer stays claimed until
+                // reset. The driver's PIO fallback may still *read* it
+                // (network memory is host-addressable) but must not free
+                // it out from under the engine.
+                #[cfg(feature = "dma-check")]
+                self.netmem
+                    .journal_record(req.packet, DmaEngine::Sdma, None);
                 return Err(CabError::EngineWedged("sdma"));
             }
             Some(TransferFault::Error) => {
@@ -552,6 +624,10 @@ impl Cab {
         };
         let extra = self.sdma_cost_extra(1, misaligned);
         let done = self.sdma.run(now, extra, req.len, self.cfg.sdma_bps());
+
+        #[cfg(feature = "dma-check")]
+        self.netmem
+            .journal_record(req.packet, DmaEngine::Sdma, Some(done));
 
         let data = match req.dst {
             SdmaDst::User { task, vaddr } => {
@@ -588,17 +664,27 @@ impl Cab {
         if self.mdma_tx.is_wedged() {
             return Err(CabError::EngineWedged("mdma_tx"));
         }
-        let pkt = self
-            .netmem
-            .get(packet)
-            .ok_or(CabError::UnknownPacket(packet))?;
-        if pkt.valid == 0 {
-            return Err(CabError::BadRequest("mdma of empty packet"));
-        }
-        let frame = Bytes::copy_from_slice(&pkt.data[..pkt.valid]);
+        let frame = match self.netmem.get(packet) {
+            Some(pkt) => {
+                if pkt.valid == 0 {
+                    return Err(CabError::BadRequest("mdma of empty packet"));
+                }
+                Bytes::copy_from_slice(&pkt.data[..pkt.valid])
+            }
+            None => return Err(self.missing_packet(packet, DmaEngine::MdmaTx, now)),
+        };
+        // The three-concurrent-engine hazard (§3): outflow must not start
+        // while another engine still claims the buffer.
+        #[cfg(feature = "dma-check")]
+        self.netmem
+            .journal_check_transfer(packet, DmaEngine::MdmaTx, now)
+            .map_err(CabError::Ownership)?;
         match self.faults.mdma_fate() {
             Some(TransferFault::Wedge) => {
                 self.mdma_tx.wedge();
+                // Stalled mid-outflow: the buffer is seized until reset.
+                #[cfg(feature = "dma-check")]
+                self.netmem.journal_record(packet, DmaEngine::MdmaTx, None);
                 return Err(CabError::EngineWedged("mdma_tx"));
             }
             Some(TransferFault::Error) => {
@@ -612,6 +698,9 @@ impl Cab {
             frame.len(),
             self.cfg.media_bps(),
         );
+        #[cfg(feature = "dma-check")]
+        self.netmem
+            .journal_record(packet, DmaEngine::MdmaTx, Some(done));
         if free_after {
             self.netmem.free(packet);
         }
@@ -689,6 +778,18 @@ impl Cab {
             auto_len,
             self.cfg.sdma_bps(),
         );
+
+        // Inflow claims the fresh buffer for [now, mdma_done) with the
+        // checksum engine computing alongside (§4.3); the auto-DMA to the
+        // host takes [mdma_done, done) — strictly sequential windows.
+        #[cfg(feature = "dma-check")]
+        {
+            self.netmem
+                .journal_record(id, DmaEngine::MdmaRx, Some(mdma_done));
+            self.netmem
+                .journal_record(id, DmaEngine::ChecksumEngine, Some(mdma_done));
+            self.netmem.journal_record(id, DmaEngine::Sdma, Some(done));
+        }
 
         self.stats.frames_rx += 1;
         self.stats.bytes_rx += len as u64;
@@ -959,8 +1060,11 @@ mod tests {
     fn mdma_then_receive_round_trip() {
         let (mut cab_a, hm, task) = setup();
         let mut cab_b = Cab::new(2, CabConfig::default());
-        let (id, _) = tx_packet(&mut cab_a, &hm, task, 0x4242, 0x10000, 8192);
-        let ev = cab_a.mdma_tx(id, 2, 0, Time::ZERO, false).unwrap();
+        let (id, sdma) = tx_packet(&mut cab_a, &hm, task, 0x4242, 0x10000, 8192);
+        // MDMA starts when the SDMA gather completes (the driver's
+        // sdma_done -> mdma convention; overlapping the two is the
+        // ownership hazard dma-check exists to catch).
+        let ev = cab_a.mdma_tx(id, 2, 0, sdma.at(), false).unwrap();
         let CabEvent::FrameOut { frame, dst, .. } = ev else {
             panic!()
         };

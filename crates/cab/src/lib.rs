@@ -33,9 +33,11 @@ pub mod engine;
 pub mod fault;
 pub mod mac;
 pub mod netmem;
+pub mod ownership;
 
 pub use cab::{Cab, CabError, CabEvent, CabStats, ChecksumSpec, SdmaDst, SdmaRx, SdmaTx, SgEntry};
 pub use config::CabConfig;
 pub use fault::{FaultInjector as CabFaultInjector, TransferFault};
 pub use mac::{HolResult, HolSim, MacMode, MacModel};
 pub use netmem::{NetworkMemory, PacketId};
+pub use ownership::{DmaEngine, DmaOwnershipViolation, ViolationKind};

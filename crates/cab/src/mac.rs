@@ -175,7 +175,12 @@ impl HolSim {
             let pick = self.rng.below(contenders.len() as u32) as usize;
             let (node, ch) = contenders.swap_remove(pick);
             input_busy[node] = true;
-            let dst = self.queues[node][ch].pop_front().unwrap();
+            // The offer came from this queue's head, so it must still be
+            // there — but an arbitration bug should cost a grant, not the
+            // whole simulation.
+            let Some(dst) = self.queues[node][ch].pop_front() else {
+                continue;
+            };
             debug_assert_eq!(dst, out);
             delivered += 1;
         }

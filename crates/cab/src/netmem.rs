@@ -7,7 +7,11 @@
 //! is exhausted (the driver sees that as a transient out-of-resources
 //! condition, the network sees a dropped packet).
 
-use std::collections::HashMap;
+#[cfg(feature = "dma-check")]
+use crate::ownership::{DmaEngine, DmaOwnershipViolation, OwnershipJournal};
+#[cfg(feature = "dma-check")]
+use outboard_sim::Time;
+use std::collections::BTreeMap;
 
 /// Identifies a packet buffer in one CAB's network memory.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -41,8 +45,15 @@ pub struct NetworkMemory {
     alloc_failures: u64,
     frees: u64,
     reserved_pages: usize,
-    packets: HashMap<PacketId, PacketBuf>,
+    // BTreeMap, not HashMap: `free_all` drains this map, and a
+    // hash-ordered drain would make reset bookkeeping order (and anything
+    // downstream of it) vary run to run.
+    packets: BTreeMap<PacketId, PacketBuf>,
     next_id: u64,
+    /// DMA ownership journal (§4.4.2's counter handshake as a checked
+    /// invariant). Only consulted when the `dma-check` feature is on.
+    #[cfg(feature = "dma-check")]
+    journal: OwnershipJournal,
 }
 
 impl NetworkMemory {
@@ -58,8 +69,10 @@ impl NetworkMemory {
             alloc_failures: 0,
             frees: 0,
             reserved_pages: 0,
-            packets: HashMap::new(),
+            packets: BTreeMap::new(),
             next_id: 1,
+            #[cfg(feature = "dma-check")]
+            journal: OwnershipJournal::default(),
         }
     }
 
@@ -114,10 +127,12 @@ impl NetworkMemory {
     /// state). Returns the number of buffers released.
     pub fn free_all(&mut self) -> usize {
         let n = self.packets.len();
-        for (_, p) in self.packets.drain() {
+        for (_, p) in std::mem::take(&mut self.packets) {
             self.pages_free += p.pages;
             self.frees += 1;
         }
+        #[cfg(feature = "dma-check")]
+        self.journal.release_all();
         n
     }
 
@@ -156,6 +171,8 @@ impl NetworkMemory {
         if let Some(p) = self.packets.remove(&id) {
             self.pages_free += p.pages;
             self.frees += 1;
+            #[cfg(feature = "dma-check")]
+            self.journal.release(id);
             true
         } else {
             false
@@ -170,6 +187,62 @@ impl NetworkMemory {
     /// Mutable access to a packet buffer (device internals and tests).
     pub fn get_mut(&mut self, id: PacketId) -> Option<&mut PacketBuf> {
         self.packets.get_mut(&id)
+    }
+
+    /// Would `engine` starting a transfer on `id` at `now` violate an
+    /// ownership invariant? Distinguishes dangling DMA (the id was live
+    /// once) from a plain unknown id, which the caller reports as
+    /// `UnknownPacket`.
+    #[cfg(feature = "dma-check")]
+    pub fn journal_check_transfer(
+        &mut self,
+        id: PacketId,
+        engine: DmaEngine,
+        now: Time,
+    ) -> Result<(), DmaOwnershipViolation> {
+        if self.packets.contains_key(&id) {
+            return self.journal.check_transfer(id, engine, now);
+        }
+        let ever = id.0 >= 1 && id.0 < self.next_id;
+        match self.journal.check_use_after_free(id, engine, now, ever) {
+            Some(v) => Err(v),
+            None => Ok(()),
+        }
+    }
+
+    /// Record a transfer window (`end == None`: wedged engine, held until
+    /// board reset).
+    #[cfg(feature = "dma-check")]
+    pub fn journal_record(&mut self, id: PacketId, engine: DmaEngine, end: Option<Time>) {
+        self.journal.record(id, engine, end);
+    }
+
+    /// May the host free `id` at `now`? Refusal means an engine window is
+    /// still open — the §4.4.2 counter-handshake hazard.
+    #[cfg(feature = "dma-check")]
+    pub fn journal_check_host_free(
+        &mut self,
+        id: PacketId,
+        now: Time,
+    ) -> Result<(), DmaOwnershipViolation> {
+        if !self.packets.contains_key(&id) {
+            // Freeing an already-gone id is today's benign no-op (`free`
+            // returns false); ids are never reused so it cannot dangle.
+            return Ok(());
+        }
+        self.journal.check_host_free(id, now)
+    }
+
+    /// Ownership violations recorded so far.
+    #[cfg(feature = "dma-check")]
+    pub fn journal_violations(&self) -> &[DmaOwnershipViolation] {
+        self.journal.violations()
+    }
+
+    /// Transfer windows recorded so far (did the checker actually run?).
+    #[cfg(feature = "dma-check")]
+    pub fn journal_transitions(&self) -> u64 {
+        self.journal.transitions()
     }
 
     /// Read `dst.len()` bytes at `off` from a packet.

@@ -1,0 +1,319 @@
+//! DMA ownership checking (the `dma-check` feature).
+//!
+//! The paper's single-copy path is safe only because ownership of every
+//! outboard byte is unambiguous: the host, the SDMA engine, and the two
+//! MDMA engines never touch a packet buffer concurrently, and the
+//! `uiowcabhdr` DMA counters (§4.4.2, our `sockbuf::UioCounters`) exist
+//! precisely so the host never frees or reuses a buffer an engine is still
+//! working on. On real hardware a violation is silent corruption on the
+//! wire; here it becomes a typed error.
+//!
+//! The journal models each engine's claim on a packet as a transfer
+//! *window* `[start, end)` in simulated time (a wedged engine holds an
+//! open-ended window until board reset). Checked invariants:
+//!
+//! * **Overlap** — two different engines may not hold windows on the same
+//!   packet at the same time. The one sanctioned concurrency of §4.3 is
+//!   whitelisted: the checksum engine computes *during* the SDMA gather
+//!   (transmit) and during MDMA inflow (receive).
+//! * **Use-after-free** — a transfer naming a packet that was once live
+//!   and has been freed is a dangling DMA, distinct from a plain unknown
+//!   id (packet ids are never reused, so the two are distinguishable).
+//! * **Free-while-DMA** — the host freeing a packet inside an engine's
+//!   open window is exactly the hazard the DMA counters guard against;
+//!   the free is refused and the violation recorded.
+//!
+//! Everything here is compiled unconditionally (so `CabError::Ownership`
+//! always exists and drivers can match on it); the journal is only
+//! *instantiated and consulted* when the `dma-check` feature is on.
+
+use crate::netmem::PacketId;
+use outboard_sim::Time;
+use std::collections::BTreeMap;
+
+/// An agent that can claim a packet buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DmaEngine {
+    /// The host CPU (PIO and buffer lifetime management).
+    Host,
+    /// The host-bus SDMA engine (gather on transmit, copy-out on receive).
+    Sdma,
+    /// The media-side transmit MDMA engine.
+    MdmaTx,
+    /// The media-side receive MDMA engine.
+    MdmaRx,
+    /// The outboard checksum engine (runs concurrently with SDMA gather
+    /// and MDMA inflow by design, §4.3).
+    ChecksumEngine,
+}
+
+impl DmaEngine {
+    fn name(self) -> &'static str {
+        match self {
+            DmaEngine::Host => "host",
+            DmaEngine::Sdma => "sdma",
+            DmaEngine::MdmaTx => "mdma_tx",
+            DmaEngine::MdmaRx => "mdma_rx",
+            DmaEngine::ChecksumEngine => "csum",
+        }
+    }
+}
+
+/// What went wrong.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A second engine touched a packet inside another engine's window.
+    OverlappingDma,
+    /// A transfer named a packet that was live once and has been freed.
+    UseAfterFree,
+    /// The host freed a packet inside an engine's open window.
+    FreeWhileDma,
+}
+
+/// A checked-invariant failure, surfaced as [`crate::CabError::Ownership`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DmaOwnershipViolation {
+    /// Which invariant broke.
+    pub kind: ViolationKind,
+    /// The packet involved.
+    pub packet: PacketId,
+    /// The agent whose access tripped the check.
+    pub actor: DmaEngine,
+    /// The agent holding the conflicting claim (for use-after-free, the
+    /// last engine known to have held the buffer, or `Host`).
+    pub holder: DmaEngine,
+    /// Simulated time of the offending access.
+    pub at: Time,
+}
+
+impl std::fmt::Display for DmaOwnershipViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let what = match self.kind {
+            ViolationKind::OverlappingDma => "overlapping DMA",
+            ViolationKind::UseAfterFree => "use after free",
+            ViolationKind::FreeWhileDma => "free while DMA active",
+        };
+        write!(
+            f,
+            "{what} on packet {:?}: {} vs holder {} at {:?}",
+            self.packet,
+            self.actor.name(),
+            self.holder.name(),
+            self.at
+        )
+    }
+}
+
+/// May these two engines hold windows on one packet concurrently?
+fn sanctioned_pair(a: DmaEngine, b: DmaEngine) -> bool {
+    matches!(
+        (a, b),
+        (DmaEngine::Sdma, DmaEngine::ChecksumEngine)
+            | (DmaEngine::ChecksumEngine, DmaEngine::Sdma)
+            | (DmaEngine::MdmaRx, DmaEngine::ChecksumEngine)
+            | (DmaEngine::ChecksumEngine, DmaEngine::MdmaRx)
+    )
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Window {
+    engine: DmaEngine,
+    /// `None` = open-ended: the engine wedged mid-transfer and holds the
+    /// buffer until board reset.
+    end: Option<Time>,
+}
+
+/// Per-packet transfer windows plus the violations seen so far.
+#[derive(Debug, Default)]
+pub struct OwnershipJournal {
+    windows: BTreeMap<u64, Vec<Window>>,
+    /// Last engine that ever held each retired packet (use-after-free
+    /// attribution). Bounded by total allocations; `dma-check` is a
+    /// test/CI feature, so the memory is acceptable.
+    last_holder: BTreeMap<u64, DmaEngine>,
+    violations: Vec<DmaOwnershipViolation>,
+    transitions: u64,
+}
+
+impl OwnershipJournal {
+    /// Windows whose end is `<= now` have completed; drop them.
+    fn prune(windows: &mut Vec<Window>, now: Time) {
+        windows.retain(|w| w.end.is_none_or(|e| e > now));
+    }
+
+    /// Would `engine` starting a transfer on live packet `id` at `now`
+    /// conflict with an open window? Record and return the violation if so.
+    pub fn check_transfer(
+        &mut self,
+        id: PacketId,
+        engine: DmaEngine,
+        now: Time,
+    ) -> Result<(), DmaOwnershipViolation> {
+        if let Some(ws) = self.windows.get_mut(&id.0) {
+            Self::prune(ws, now);
+            if let Some(w) = ws
+                .iter()
+                .find(|w| w.engine != engine && !sanctioned_pair(w.engine, engine))
+            {
+                let v = DmaOwnershipViolation {
+                    kind: ViolationKind::OverlappingDma,
+                    packet: id,
+                    actor: engine,
+                    holder: w.engine,
+                    at: now,
+                };
+                self.violations.push(v);
+                return Err(v);
+            }
+        }
+        Ok(())
+    }
+
+    /// A transfer on a packet that no longer exists: if it ever existed
+    /// this is a dangling DMA. Records and returns the violation, or
+    /// `None` when the id was never allocated (plain unknown packet).
+    pub fn check_use_after_free(
+        &mut self,
+        id: PacketId,
+        engine: DmaEngine,
+        now: Time,
+        ever_allocated: bool,
+    ) -> Option<DmaOwnershipViolation> {
+        if !ever_allocated {
+            return None;
+        }
+        let holder = self
+            .last_holder
+            .get(&id.0)
+            .copied()
+            .unwrap_or(DmaEngine::Host);
+        let v = DmaOwnershipViolation {
+            kind: ViolationKind::UseAfterFree,
+            packet: id,
+            actor: engine,
+            holder,
+            at: now,
+        };
+        self.violations.push(v);
+        Some(v)
+    }
+
+    /// Record a transfer window. `end == None` marks a wedged engine
+    /// seizing the buffer until reset.
+    pub fn record(&mut self, id: PacketId, engine: DmaEngine, end: Option<Time>) {
+        self.transitions += 1;
+        self.last_holder.insert(id.0, engine);
+        self.windows
+            .entry(id.0)
+            .or_default()
+            .push(Window { engine, end });
+    }
+
+    /// Host free: refuse (and record) when any engine window is open.
+    pub fn check_host_free(
+        &mut self,
+        id: PacketId,
+        now: Time,
+    ) -> Result<(), DmaOwnershipViolation> {
+        if let Some(ws) = self.windows.get_mut(&id.0) {
+            Self::prune(ws, now);
+            if let Some(w) = ws.first() {
+                let v = DmaOwnershipViolation {
+                    kind: ViolationKind::FreeWhileDma,
+                    packet: id,
+                    actor: DmaEngine::Host,
+                    holder: w.engine,
+                    at: now,
+                };
+                self.violations.push(v);
+                return Err(v);
+            }
+        }
+        Ok(())
+    }
+
+    /// The packet is gone (freed by host after a clean check, released by
+    /// an engine at the end of its own window, or dropped by board reset):
+    /// forget its windows.
+    pub fn release(&mut self, id: PacketId) {
+        self.windows.remove(&id.0);
+    }
+
+    /// Board reset: every window dies with the outboard state.
+    pub fn release_all(&mut self) {
+        self.windows.clear();
+    }
+
+    /// Violations recorded so far (accumulates across resets).
+    pub fn violations(&self) -> &[DmaOwnershipViolation] {
+        &self.violations
+    }
+
+    /// Total windows recorded (journal activity check for tests).
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use outboard_sim::Dur;
+
+    fn t(us: u64) -> Time {
+        Time::ZERO + Dur::from_micros_f64(us as f64)
+    }
+
+    #[test]
+    fn sequential_windows_do_not_conflict() {
+        let mut j = OwnershipJournal::default();
+        let id = PacketId(1);
+        j.check_transfer(id, DmaEngine::Sdma, t(0)).unwrap();
+        j.record(id, DmaEngine::Sdma, Some(t(10)));
+        // MDMA starts exactly when SDMA finishes: half-open windows, clean.
+        j.check_transfer(id, DmaEngine::MdmaTx, t(10)).unwrap();
+        j.record(id, DmaEngine::MdmaTx, Some(t(20)));
+        assert!(j.violations().is_empty());
+    }
+
+    #[test]
+    fn concurrent_engines_conflict() {
+        let mut j = OwnershipJournal::default();
+        let id = PacketId(2);
+        j.record(id, DmaEngine::Sdma, Some(t(10)));
+        let v = j.check_transfer(id, DmaEngine::MdmaTx, t(5)).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::OverlappingDma);
+        assert_eq!(v.holder, DmaEngine::Sdma);
+        assert_eq!(j.violations().len(), 1);
+    }
+
+    #[test]
+    fn checksum_engine_is_sanctioned_with_sdma() {
+        let mut j = OwnershipJournal::default();
+        let id = PacketId(3);
+        j.record(id, DmaEngine::Sdma, Some(t(10)));
+        j.check_transfer(id, DmaEngine::ChecksumEngine, t(5))
+            .unwrap();
+        assert!(j.violations().is_empty());
+    }
+
+    #[test]
+    fn wedged_window_holds_until_release_all() {
+        let mut j = OwnershipJournal::default();
+        let id = PacketId(4);
+        j.record(id, DmaEngine::Sdma, None);
+        // Long after, still held.
+        let v = j.check_host_free(id, t(1_000_000)).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::FreeWhileDma);
+        j.release_all();
+        j.check_host_free(id, t(1_000_001)).unwrap();
+    }
+
+    #[test]
+    fn host_free_after_window_closes_is_clean() {
+        let mut j = OwnershipJournal::default();
+        let id = PacketId(5);
+        j.record(id, DmaEngine::Sdma, Some(t(10)));
+        j.check_host_free(id, t(10)).unwrap();
+    }
+}

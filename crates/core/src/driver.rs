@@ -160,18 +160,24 @@ pub struct CabIface {
     /// The device itself.
     pub cab: Cab,
     /// IP → fabric address resolution (static ARP for the simulation).
+    // lint: allow(nondet-order, keyed lookup only, never iterated)
     pub arp: HashMap<Ipv4Addr, HippiAddr>,
     next_token: u64,
+    // lint: allow(nondet-order, completion lookup by token, never iterated)
     pending: HashMap<u64, SdmaPurpose>,
     /// Logical channel assigned per destination (§2.1).
+    // lint: allow(nondet-order, keyed lookup only, never iterated)
     channels: HashMap<HippiAddr, u16>,
     next_channel: u16,
     /// Receive packets: payload bytes not yet copied out of network memory.
+    // lint: allow(nondet-order, keyed lookup only, never iterated)
     pub rx_remaining: HashMap<PacketId, usize>,
     /// Transmit packets: data bytes not yet acknowledged (the packet stays
     /// outboard for retransmission until this drains).
+    // lint: allow(nondet-order, keyed lookup only, never iterated)
     pub tx_remaining: HashMap<PacketId, usize>,
     /// Transmit packets' header length (for retransmission geometry).
+    // lint: allow(nondet-order, keyed lookup only, never iterated)
     pub tx_hdr_len: HashMap<PacketId, usize>,
     /// Transmissions parked for the retry-backoff timer.
     pub retry_q: VecDeque<PendingTx>,
@@ -268,6 +274,7 @@ pub struct EthIface {
     /// This interface's hardware address.
     pub mac: MacAddr,
     /// IP to MAC resolution (static for the simulation).
+    // lint: allow(nondet-order, keyed lookup only, never iterated)
     pub arp: HashMap<Ipv4Addr, MacAddr>,
 }
 

@@ -14,7 +14,7 @@
 use outboard_mbuf::Chain;
 use outboard_wire::checksum::add16;
 use outboard_wire::Ipv4Header;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// One planned fragment: payload byte range and MF flag.
@@ -56,7 +56,7 @@ pub fn fragment_plan(len: usize, mtu: usize, ip_header_len: usize) -> Vec<FragPa
 }
 
 /// Key identifying a datagram being reassembled.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FragKey {
     /// Datagram source.
     pub src: Ipv4Addr,
@@ -93,7 +93,7 @@ pub struct Reassembled {
 /// IP fragment reassembler with a bounded number of concurrent datagrams.
 #[derive(Debug, Default)]
 pub struct Reassembler {
-    bufs: HashMap<FragKey, FragBuf>,
+    bufs: BTreeMap<FragKey, FragBuf>,
 }
 
 /// Upper bound on concurrent reassemblies (old ones are evicted).
@@ -121,7 +121,8 @@ impl Reassembler {
         hw_sum: Option<u16>,
     ) -> Option<Reassembled> {
         if self.bufs.len() >= MAX_REASS && !self.bufs.contains_key(&key) {
-            // Evict an arbitrary (oldest-hash) buffer to stay bounded.
+            // Evict the smallest key to stay bounded (deterministic, if
+            // arbitrary; real stacks use a reassembly timer instead).
             if let Some(&victim) = self.bufs.keys().next() {
                 self.bufs.remove(&victim);
             }

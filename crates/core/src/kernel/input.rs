@@ -10,7 +10,7 @@ use crate::socket::{KqEntry, Owner};
 use crate::tcp::{AckMode, SegmentPlan, TcpState};
 use crate::types::{Effect, IfaceId, Proto, SockAddr, SockId, TimerKind};
 use bytes::Bytes;
-use outboard_cab::{PacketId, SdmaDst, SdmaRx};
+use outboard_cab::{CabError, PacketId, SdmaDst, SdmaRx};
 use outboard_host::{Charge, HostMem, TaskId, UserMemory};
 use outboard_mbuf::{Chain, Mbuf, MbufData, WcabDesc};
 use outboard_sim::Time;
@@ -160,7 +160,7 @@ impl Kernel {
             Ok(h) => h,
             Err(_) => {
                 self.stats.ip_errors += 1;
-                self.discard_outboard(&rx);
+                self.discard_outboard(&rx, now);
                 return;
             }
         };
@@ -268,7 +268,11 @@ impl Kernel {
                             let _ = cab.cab.read_packet(packet, src_off, &mut buf);
                             let cost = k.memsys.read_cost(out_len, out_len.max(4096));
                             k.cpu_dur(cost, Charge::Interrupt);
-                            cab.cab.free_packet(packet);
+                            // A wedged SDMA engine still owns the buffer;
+                            // the watchdog's board reset will reclaim it.
+                            if !matches!(e, CabError::EngineWedged(_)) {
+                                cab.cab.free_packet(packet, now);
+                            }
                             cab.health.stats.pio_fallbacks += 1;
                             Bytes::from(buf)
                         }
@@ -297,7 +301,7 @@ impl Kernel {
             } else {
                 // Nothing left outboard: release immediately.
                 self.with_cab(rx.iface, |_k, cab| {
-                    cab.cab.free_packet(packet);
+                    cab.cab.free_packet(packet, now);
                 });
             }
         }
@@ -305,11 +309,11 @@ impl Kernel {
     }
 
     /// Free an outboard buffer for a packet we are dropping.
-    fn discard_outboard(&mut self, rx: &RxPacket) {
+    fn discard_outboard(&mut self, rx: &RxPacket, now: Time) {
         if let Some((packet, _)) = rx.outboard {
             self.with_cab(rx.iface, |_k, cab| {
                 cab.rx_remaining.remove(&packet);
-                cab.cab.free_packet(packet);
+                cab.cab.free_packet(packet, now);
             });
         }
     }
@@ -317,7 +321,7 @@ impl Kernel {
     /// Discard a payload chain, releasing any outboard buffers it covers.
     /// The chain is owned, so its descriptors are walked in place — no
     /// intermediate `Vec` of descriptors.
-    fn discard_chain(&mut self, chain: Chain) {
+    fn discard_chain(&mut self, chain: Chain, now: Time) {
         for m in chain.iter() {
             let MbufData::Wcab(d) = m.data() else {
                 continue;
@@ -334,7 +338,7 @@ impl Kernel {
                 };
                 if done {
                     cab.rx_remaining.remove(&packet);
-                    cab.cab.free_packet(packet);
+                    cab.cab.free_packet(packet, now);
                 }
             });
         }
@@ -344,12 +348,12 @@ impl Kernel {
     fn ip_forward(&mut self, rx: RxPacket, mut hdr: Ipv4Header, mem: &mut HostMem, now: Time) {
         if hdr.ttl <= 1 {
             self.stats.ip_errors += 1;
-            self.discard_outboard(&rx);
+            self.discard_outboard(&rx, now);
             return;
         }
         let Some(out_iface) = self.routes.lookup(hdr.dst) else {
             self.stats.ip_errors += 1;
-            self.discard_outboard(&rx);
+            self.discard_outboard(&rx, now);
             return;
         };
         let ihl = hdr.header_len as usize;
@@ -361,7 +365,7 @@ impl Kernel {
         // Materialize through the conversion layer and retransmit. The
         // payload chain may reference outboard memory; flatten reads it.
         let flat = self.flatten_for_legacy(&payload, mem);
-        self.discard_chain(payload);
+        self.discard_chain(payload, now);
         let chain = Chain::from_slice(&flat);
         self.cpu(self.machine.cost_ip_us, Charge::Interrupt);
         self.ip_output(
@@ -404,7 +408,7 @@ impl Kernel {
                     self.deliver_to_kernel_queue(sock, payload, from, mem, now);
                 } else {
                     self.stats.no_socket_drops += 1;
-                    self.discard_chain(payload);
+                    self.discard_chain(payload, now);
                 }
             }
         }
@@ -435,12 +439,12 @@ impl Kernel {
         let transport_len = payload.len();
         let Some(hdr_bytes) = self.transport_header_bytes(&payload, 60) else {
             self.stats.ip_errors += 1;
-            self.discard_chain(payload);
+            self.discard_chain(payload, now);
             return;
         };
         let Ok(thdr) = TcpHeader::parse(&hdr_bytes) else {
             self.stats.ip_errors += 1;
-            self.discard_chain(payload);
+            self.discard_chain(payload, now);
             return;
         };
         // Checksum verification (§4.3): hardware sum adjusted by the
@@ -465,7 +469,7 @@ impl Kernel {
         };
         if !valid {
             self.stats.csum_errors += 1;
-            self.discard_chain(payload);
+            self.discard_chain(payload, now);
             return;
         }
         payload.drop_front((thdr.header_len as usize).min(payload.len()));
@@ -489,7 +493,7 @@ impl Kernel {
             });
         let Some(sock) = sock else {
             // No one listening: RST per RFC 793.
-            self.discard_chain(payload);
+            self.discard_chain(payload, now);
             let data_len = transport_len - thdr.header_len as usize;
             let (seq, ack, flags) = if thdr.flags.ack() {
                 (thdr.ack, 0, TcpFlags::RST)
@@ -562,12 +566,12 @@ impl Kernel {
     ) {
         let r = {
             let Some(s) = self.sockets.get_mut(&sock) else {
-                self.discard_chain(data);
+                self.discard_chain(data, now);
                 return;
             };
             let rcv_space = s.so_rcv.space();
             let Some(tcb) = s.tcb.as_mut() else {
-                self.discard_chain(data);
+                self.discard_chain(data, now);
                 return;
             };
             tcb.input(thdr, data, rcv_space, now)
@@ -583,7 +587,7 @@ impl Kernel {
 
         // Newly acknowledged data: drop from so_snd, free outboard buffers.
         if r.acked_bytes > 0 {
-            self.ack_free(sock, r.acked_bytes);
+            self.ack_free(sock, r.acked_bytes, now);
             // Restart the retransmission timer from the new left edge.
             if let Some(s) = self.sockets.get_mut(&sock) {
                 s.rexmt_armed = false;
@@ -595,7 +599,7 @@ impl Kernel {
         let mut delivered = false;
         for c in r.deliver {
             delivered = true;
-            self.deliver_data(sock, c, None);
+            self.deliver_data(sock, c, None, now);
         }
 
         // Connection events.
@@ -657,7 +661,7 @@ impl Kernel {
         }
 
         if r.closed {
-            self.teardown(sock);
+            self.teardown(sock, now);
             return;
         }
 
@@ -699,9 +703,15 @@ impl Kernel {
     }
 
     /// Append received data to `so_rcv` (datagram bounds for UDP).
-    fn deliver_data(&mut self, sock: SockId, chain: Chain, dgram_from: Option<SockAddr>) {
+    fn deliver_data(
+        &mut self,
+        sock: SockId,
+        chain: Chain,
+        dgram_from: Option<SockAddr>,
+        now: Time,
+    ) {
         let Some(s) = self.sockets.get_mut(&sock) else {
-            self.discard_chain(chain);
+            self.discard_chain(chain, now);
             return;
         };
         if let Some(from) = dgram_from {
@@ -736,7 +746,7 @@ impl Kernel {
 
     /// ACK processing: drop acknowledged bytes from the send queue and free
     /// the outboard packets they lived in.
-    fn ack_free(&mut self, sock: SockId, bytes: usize) {
+    fn ack_free(&mut self, sock: SockId, bytes: usize, now: Time) {
         let dropped = {
             let Some(s) = self.sockets.get_mut(&sock) else {
                 return;
@@ -759,7 +769,7 @@ impl Kernel {
                     if free {
                         cab.tx_remaining.remove(&packet);
                         cab.tx_hdr_len.remove(&packet);
-                        cab.cab.free_packet(packet);
+                        cab.cab.free_packet(packet, now);
                     }
                 });
             }
@@ -786,12 +796,12 @@ impl Kernel {
         let transport_len = payload.len();
         let Some(hdr_bytes) = self.transport_header_bytes(&payload, UDP_HEADER_LEN) else {
             self.stats.ip_errors += 1;
-            self.discard_chain(payload);
+            self.discard_chain(payload, now);
             return;
         };
         let Ok(uhdr) = UdpHeader::parse_with_available(&hdr_bytes, transport_len) else {
             self.stats.ip_errors += 1;
-            self.discard_chain(payload);
+            self.discard_chain(payload, now);
             return;
         };
         let valid = if trusted || uhdr.checksum == 0 {
@@ -813,7 +823,7 @@ impl Kernel {
         };
         if !valid {
             self.stats.csum_errors += 1;
-            self.discard_chain(payload);
+            self.discard_chain(payload, now);
             return;
         }
         payload.drop_front(UDP_HEADER_LEN.min(payload.len()));
@@ -821,7 +831,7 @@ impl Kernel {
 
         let Some(&sock) = self.ports.get(&(Proto::Udp, uhdr.dst_port)) else {
             self.stats.no_socket_drops += 1;
-            self.discard_chain(payload);
+            self.discard_chain(payload, now);
             return;
         };
         let from = SockAddr::new(src, uhdr.src_port);
@@ -837,10 +847,10 @@ impl Kernel {
                 };
                 if !fits {
                     self.stats.no_socket_drops += 1;
-                    self.discard_chain(payload);
+                    self.discard_chain(payload, now);
                     return;
                 }
-                self.deliver_data(sock, payload, Some(from));
+                self.deliver_data(sock, payload, Some(from), now);
                 let waker = self
                     .sockets
                     .get_mut(&sock)
@@ -941,7 +951,7 @@ impl Kernel {
     ) {
         // ICMP messages are small; flatten through the conversion layer.
         let flat = self.flatten_for_legacy(&payload, mem);
-        self.discard_chain(payload);
+        self.discard_chain(payload, now);
         if let Some((kind, ident, seq, data)) = crate::ip::icmp::parse_echo(&flat) {
             if kind == crate::ip::icmp::ECHO_REQUEST {
                 // Reply goes out from our address to the requester.
@@ -1184,7 +1194,7 @@ impl Kernel {
                     .map(|t| t.on_time_wait_expired())
                     .unwrap_or(false);
                 if expire {
-                    self.teardown(sock);
+                    self.teardown(sock, now);
                 }
             }
             TimerKind::CabRetry { iface, generation } => {

@@ -41,7 +41,7 @@ use outboard_sim::{Dur, Time};
 use outboard_wire::ether::MacAddr;
 use outboard_wire::ipv4::IPV4_HEADER_LEN;
 use outboard_wire::udp::UDP_HEADER_LEN;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
 
 /// Kernel-level statistics.
@@ -137,16 +137,21 @@ pub struct Kernel {
     pub memsys: MemorySystem,
     /// VM pin/map bookkeeping and costs.
     pub vm: VmSystem,
-    pub(crate) sockets: HashMap<SockId, Socket>,
+    // BTreeMap: socket-table sweeps (degraded-mode rescue, stats rollup)
+    // iterate this map, so its order reaches the event stream.
+    pub(crate) sockets: BTreeMap<SockId, Socket>,
     next_sock: u32,
     next_port: u16,
     /// Bound (listener / datagram) sockets by port.
+    // lint: allow(nondet-order, keyed demux lookup only, never iterated)
     pub(crate) ports: HashMap<(Proto, u16), SockId>,
     /// Fully-specified connections (proto, local, remote).
+    // lint: allow(nondet-order, keyed demux lookup only, never iterated)
     pub(crate) conns: HashMap<(Proto, SockAddr, SockAddr), SockId>,
     /// Raw-IP protocol handlers: protocol number → kernel socket whose
     /// queue receives matching datagrams' payloads (§5: in-kernel
     /// applications "use TCP or UDP over IP, or raw IP").
+    // lint: allow(nondet-order, keyed demux lookup only, never iterated)
     pub(crate) raw_protos: HashMap<u8, SockId>,
     /// Network interfaces, indexed by [`IfaceId`].
     pub ifaces: Vec<Iface>,
@@ -181,7 +186,7 @@ impl Kernel {
             vm: VmSystem::new(machine.clone(), cfg.lazy_vm),
             machine,
             cfg,
-            sockets: HashMap::new(),
+            sockets: BTreeMap::new(),
             next_sock: 1,
             next_port: 20_000,
             ports: HashMap::new(),
@@ -579,12 +584,12 @@ impl Kernel {
                 tcb.state == TcpState::Closed
             };
             if closed {
-                self.teardown(sock);
+                self.teardown(sock, now);
             } else {
                 self.tcp_send(sock, mem, now, false);
             }
         } else if self.sockets.contains_key(&sock) {
-            self.teardown(sock);
+            self.teardown(sock, now);
         }
         self.take_effects()
     }
@@ -1180,7 +1185,7 @@ impl Kernel {
     }
 
     /// Tear a socket down: free outboard buffers, cancel counters, unbind.
-    pub(crate) fn teardown(&mut self, sock: SockId) {
+    pub(crate) fn teardown(&mut self, sock: SockId, now: Time) {
         let Some(s) = self.sockets.remove(&sock) else {
             return;
         };
@@ -1210,7 +1215,7 @@ impl Kernel {
                     cab.tx_remaining.remove(&packet);
                     cab.tx_hdr_len.remove(&packet);
                     cab.rx_remaining.remove(&packet);
-                    cab.cab.free_packet(packet);
+                    cab.cab.free_packet(packet, now);
                 });
             }
         }

@@ -9,7 +9,7 @@ use crate::socket::Owner;
 use crate::tcp::SegmentPlan;
 use crate::types::{Effect, IfaceId, SockAddr, SockId, TimerKind};
 use bytes::Bytes;
-use outboard_cab::{ChecksumSpec, PacketId, SdmaTx, SgEntry};
+use outboard_cab::{CabError, ChecksumSpec, PacketId, SdmaTx, SgEntry};
 use outboard_host::{Charge, HostMem};
 use outboard_mbuf::{Chain, CsumPlan, MbufData};
 use outboard_sim::Time;
@@ -812,11 +812,15 @@ impl Kernel {
                     }
                 }
                 Err(e) => {
-                    // Undo the issue and park the whole transfer.
+                    // Undo the issue and park the whole transfer. A wedged
+                    // engine has seized the buffer mid-gather; the board
+                    // reset reclaims it, so the host must not free it here.
                     cab.complete(token);
                     cab.tx_remaining.remove(&packet);
                     cab.tx_hdr_len.remove(&packet);
-                    cab.cab.free_packet(packet);
+                    if !matches!(e, CabError::EngineWedged(_)) {
+                        cab.cab.free_packet(packet, now);
+                    }
                     Kernel::watchdog_on_wedge(k, cab, iface_id, &e);
                     Kernel::park_tx(
                         k,
@@ -852,8 +856,11 @@ impl Kernel {
     ) {
         self.cpu(self.machine.cost_driver_pkt_us, Charge::Syscall);
         let flat = self.flatten_for_legacy(&transport, mem);
+        // Routing only sends Ethernet-bound traffic here, but a stale route
+        // table entry is a survivable error, not grounds to abort the host.
         let IfaceKind::Eth(eth) = &self.ifaces[iface_id.0 as usize].kind else {
-            unreachable!()
+            self.stats.ip_errors += 1;
+            return;
         };
         let Some(&dst_mac) = eth.arp.get(&ip_hdr.dst) else {
             self.stats.ip_errors += 1;

@@ -120,7 +120,7 @@ impl Kernel {
                         // is malformed: nothing a retry can fix.
                         cab.health.stats.abandoned_tx += 1;
                         if free_after {
-                            cab.cab.free_packet(packet);
+                            cab.cab.free_packet(packet, now);
                         }
                     }
                 }
@@ -191,7 +191,10 @@ impl Kernel {
                         cab.complete(token);
                         cab.tx_remaining.remove(&packet);
                         cab.tx_hdr_len.remove(&packet);
-                        cab.cab.free_packet(packet);
+                        // A wedge seizes the buffer; the reset reclaims it.
+                        if !matches!(e, CabError::EngineWedged(_)) {
+                            cab.cab.free_packet(packet, now);
+                        }
                         Kernel::watchdog_on_wedge(k, cab, iface, &e);
                         cab.retry_q.push_back(PendingTx::Sdma {
                             frame_len,
@@ -262,8 +265,10 @@ impl Kernel {
                     PendingTx::Mdma {
                         packet, free_after, ..
                     } => {
-                        if free_after {
-                            cab.cab.free_packet(packet);
+                        // If an engine is wedged this packet may be seized
+                        // mid-transfer; the board reset reclaims it instead.
+                        if free_after && !cab.cab.any_engine_wedged() {
+                            cab.cab.free_packet(packet, now);
                         }
                     }
                 }
@@ -321,7 +326,7 @@ impl Kernel {
             let healthy = !cab.cab.any_engine_wedged()
                 && match cab.cab.alloc_packet(1) {
                     Some(p) => {
-                        cab.cab.free_packet(p);
+                        cab.cab.free_packet(p, now);
                         true
                     }
                     None => false,
@@ -514,8 +519,10 @@ impl Kernel {
                     }
                     SdmaDst::Kernel => Some(Bytes::from(buf)),
                 };
-                if req.free_packet {
-                    cab.cab.free_packet(req.packet);
+                // A wedged engine holds the buffer until board reset; PIO
+                // may still read the bytes, but the host must not free.
+                if req.free_packet && !matches!(e, CabError::EngineWedged(_)) {
+                    cab.cab.free_packet(req.packet, now);
                 }
                 cab.health.stats.pio_fallbacks += 1;
                 k.fx.push(Effect::Cab {

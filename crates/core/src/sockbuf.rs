@@ -71,6 +71,7 @@ impl UioState {
 #[derive(Debug, Default)]
 pub struct UioCounters {
     next: u64,
+    // lint: allow(nondet-order, keyed lookup by counter id, never iterated)
     live: HashMap<UioCounterId, UioState>,
 }
 

@@ -49,6 +49,7 @@ struct Region {
 /// All user address spaces on one host.
 #[derive(Debug, Default)]
 pub struct HostMem {
+    // lint: allow(nondet-order, keyed lookup by task id, never iterated)
     regions: HashMap<TaskId, Region>,
 }
 

@@ -53,6 +53,7 @@ enum PageState {
 pub struct VmSystem {
     cfg: MachineConfig,
     lazy: bool,
+    // lint: allow(nondet-order, keyed lookup; only whole-map retain, which is order-independent)
     pages: HashMap<(TaskId, u64), PageState>,
     /// LRU order of `Cached` pages (front = oldest).
     cached_lru: VecDeque<(TaskId, u64)>,

@@ -1,0 +1,524 @@
+//! A small token-aware pass over Rust source.
+//!
+//! The rules in [`crate::rules`] are substring matchers; what makes them
+//! trustworthy is that they run over a *masked* view of the source in which
+//! comments, string literals, and char literals have been blanked out (byte
+//! for byte, so offsets and line numbers are unchanged), and that lines
+//! inside `#[test]` / `#[cfg(test)]` items are marked so rules can skip
+//! them. This is not a full lexer — it only needs to answer "is this byte
+//! code or not?" — but it handles the constructs that defeat a plain grep:
+//! nested block comments, raw strings (`r#"…"#`), byte strings, escapes,
+//! and the char-literal / lifetime ambiguity of `'`.
+
+/// A string literal found in the source (needed by the metrics-naming rule,
+/// which must see literal contents even though the masked view blanks them).
+#[derive(Clone, Debug)]
+pub struct StrLit {
+    /// Byte offset of the opening quote.
+    pub start: usize,
+    /// The literal's contents (raw, escapes not processed).
+    pub value: String,
+}
+
+/// An inline suppression: `// lint: allow(rule-name, reason)`.
+#[derive(Clone, Debug)]
+pub struct Pragma {
+    /// 1-indexed line the pragma appears on. It suppresses findings of
+    /// `rule` on this line and the next.
+    pub line: usize,
+    /// Rule name being allowed.
+    pub rule: String,
+    /// Mandatory free-text justification.
+    pub reason: String,
+}
+
+/// A pragma that could not be parsed (reported as a `bad-pragma` finding).
+#[derive(Clone, Debug)]
+pub struct PragmaIssue {
+    /// 1-indexed line of the malformed pragma.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+/// The masked view of one source file.
+#[derive(Debug)]
+pub struct LexedFile {
+    /// Source with comments and string/char literals blanked to spaces
+    /// (newlines preserved, so byte offsets and line numbers still match).
+    pub masked: String,
+    /// Byte offset of the start of each line (index 0 = line 1).
+    pub line_starts: Vec<usize>,
+    /// String literals, in source order.
+    pub strings: Vec<StrLit>,
+    /// Well-formed lint pragmas.
+    pub pragmas: Vec<Pragma>,
+    /// Malformed lint pragmas.
+    pub pragma_issues: Vec<PragmaIssue>,
+    /// `test_lines[line - 1]` is true when the line is inside a `#[test]`
+    /// or `#[cfg(test)]` item (including the attribute itself).
+    pub test_lines: Vec<bool>,
+}
+
+impl LexedFile {
+    /// 1-indexed line containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// Is the (1-indexed) line inside a test region?
+    pub fn is_test_line(&self, line: usize) -> bool {
+        line >= 1 && self.test_lines.get(line - 1).copied().unwrap_or(false)
+    }
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn blank(out: &mut [u8], from: usize, to: usize) {
+    for slot in &mut out[from..to] {
+        if *slot != b'\n' {
+            *slot = b' ';
+        }
+    }
+}
+
+/// Mask `src` and collect literals, pragmas, and test regions.
+pub fn lex(src: &str) -> LexedFile {
+    let b = src.as_bytes();
+    let mut out = b.to_vec();
+    let mut strings = Vec::new();
+    let mut line_comments: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        let prev_ident = i > 0 && is_ident(b[i - 1]);
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                line_comments.push((start, i));
+                blank(&mut out, start, i);
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = i;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                blank(&mut out, start, i);
+            }
+            b'"' => {
+                i = mask_plain_string(src, &mut out, &mut strings, i);
+            }
+            b'r' | b'b' if !prev_ident => {
+                if let Some(next) = scan_prefixed_string(src, &mut out, &mut strings, i) {
+                    i = next;
+                } else {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                i = mask_char_or_lifetime(src, &mut out, i);
+            }
+            _ => i += 1,
+        }
+    }
+
+    let masked = String::from_utf8(out).unwrap_or_else(|e| {
+        // Masking only writes ASCII spaces over whole spans; if the input
+        // was valid UTF-8 the output is too. Fall back lossily regardless.
+        String::from_utf8_lossy(e.as_bytes()).into_owned()
+    });
+
+    let mut line_starts = vec![0usize];
+    for (pos, ch) in src.bytes().enumerate() {
+        if ch == b'\n' {
+            line_starts.push(pos + 1);
+        }
+    }
+
+    let mut lexed = LexedFile {
+        masked,
+        line_starts,
+        strings,
+        pragmas: Vec::new(),
+        pragma_issues: Vec::new(),
+        test_lines: vec![false; src.lines().count().max(1)],
+    };
+    collect_pragmas(src, &line_comments, &mut lexed);
+    mark_test_regions(&mut lexed);
+    lexed
+}
+
+/// Mask a `"…"` string starting at `start` (the opening quote). Returns the
+/// index just past the closing quote.
+fn mask_plain_string(src: &str, out: &mut [u8], strings: &mut Vec<StrLit>, start: usize) -> usize {
+    let b = src.as_bytes();
+    let mut i = start + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    let inner_end = i.saturating_sub(1).max(start + 1);
+    strings.push(StrLit {
+        start,
+        value: src.get(start + 1..inner_end).unwrap_or("").to_string(),
+    });
+    blank(out, start, i.min(b.len()));
+    i
+}
+
+/// Handle `r"…"`, `r#"…"#`, `b"…"`, `br"…"` starting at `start` (the `r` or
+/// `b`). Returns `None` when the bytes are not actually a string prefix.
+fn scan_prefixed_string(
+    src: &str,
+    out: &mut [u8],
+    strings: &mut Vec<StrLit>,
+    start: usize,
+) -> Option<usize> {
+    let b = src.as_bytes();
+    let mut i = start;
+    if b[i] == b'b' {
+        i += 1;
+        if i < b.len() && b[i] == b'"' {
+            return Some(mask_plain_string(src, out, strings, i).max(start + 1));
+        }
+    }
+    if i >= b.len() || b[i] != b'r' {
+        return None;
+    }
+    i += 1;
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= b.len() || b[i] != b'"' {
+        return None;
+    }
+    let inner_start = i + 1;
+    i += 1;
+    // Find `"` followed by `hashes` hash marks.
+    while i < b.len() {
+        if b[i] == b'"'
+            && src.as_bytes()[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == b'#')
+                .count()
+                == hashes
+        {
+            let inner = src.get(inner_start..i).unwrap_or("").to_string();
+            strings.push(StrLit {
+                start,
+                value: inner,
+            });
+            let end = i + 1 + hashes;
+            blank(out, start, end.min(b.len()));
+            return Some(end);
+        }
+        i += 1;
+    }
+    blank(out, start, b.len());
+    Some(b.len())
+}
+
+/// Disambiguate a `'` as char literal (masked) or lifetime (left alone).
+fn mask_char_or_lifetime(src: &str, out: &mut [u8], start: usize) -> usize {
+    let b = src.as_bytes();
+    if start + 1 >= b.len() {
+        return start + 1;
+    }
+    if b[start + 1] == b'\\' {
+        // Escaped char literal: scan to the closing quote.
+        let mut i = start + 2;
+        while i < b.len() {
+            if b[i] == b'\\' {
+                i += 2;
+            } else if b[i] == b'\'' {
+                i += 1;
+                break;
+            } else {
+                i += 1;
+            }
+        }
+        blank(out, start, i.min(b.len()));
+        return i;
+    }
+    // A char literal is `'` + one UTF-8 scalar + `'`; anything else (ident
+    // char not followed by a quote) is a lifetime.
+    let ch_len = utf8_len(b[start + 1]);
+    let close = start + 1 + ch_len;
+    if close < b.len() && b[close] == b'\'' {
+        blank(out, start, close + 1);
+        close + 1
+    } else {
+        start + 1
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Parse `// lint: allow(rule, reason)` pragmas out of line comments.
+fn collect_pragmas(src: &str, comments: &[(usize, usize)], lexed: &mut LexedFile) {
+    for &(start, end) in comments {
+        let text = &src[start..end];
+        let body = text.trim_start_matches('/').trim_start_matches('!').trim();
+        let Some(rest) = body.strip_prefix("lint:") else {
+            continue;
+        };
+        let line = lexed.line_of(start);
+        let rest = rest.trim();
+        let Some(args) = rest
+            .strip_prefix("allow(")
+            .and_then(|r| r.strip_suffix(')'))
+        else {
+            lexed.pragma_issues.push(PragmaIssue {
+                line,
+                message: format!("malformed pragma `{body}`: expected `lint: allow(rule, reason)`"),
+            });
+            continue;
+        };
+        let Some((rule, reason)) = args.split_once(',') else {
+            lexed.pragma_issues.push(PragmaIssue {
+                line,
+                message: "pragma missing a reason: `lint: allow(rule, reason)`".to_string(),
+            });
+            continue;
+        };
+        let rule = rule.trim().to_string();
+        let reason = reason.trim().to_string();
+        if rule.is_empty() || reason.is_empty() {
+            lexed.pragma_issues.push(PragmaIssue {
+                line,
+                message: "pragma rule and reason must both be non-empty".to_string(),
+            });
+            continue;
+        }
+        lexed.pragmas.push(Pragma { line, rule, reason });
+    }
+}
+
+/// Is this normalized attribute body a test gate? Conservative exact forms
+/// only, so `cfg(not(test))` is never mistaken for one.
+fn is_test_attr(normalized: &str) -> bool {
+    normalized == "test"
+        || normalized == "cfg(test)"
+        || normalized.starts_with("cfg(all(test,")
+        || normalized == "cfg(all(test))"
+}
+
+/// Mark lines covered by `#[test]` / `#[cfg(test)]` items in the masked
+/// view (attributes through the end of the decorated item).
+fn mark_test_regions(lexed: &mut LexedFile) {
+    let mb = lexed.masked.as_bytes().to_vec();
+    let mut i = 0usize;
+    while i < mb.len() {
+        if mb[i] != b'#' {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let mut j = i + 1;
+        let inner = j < mb.len() && mb[j] == b'!';
+        if inner {
+            j += 1;
+        }
+        while j < mb.len() && mb[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if j >= mb.len() || mb[j] != b'[' {
+            i += 1;
+            continue;
+        }
+        let (content_end, attr_end) = match balanced(&mb, j, b'[', b']') {
+            Some(close) => (close, close + 1),
+            None => {
+                i += 1;
+                continue;
+            }
+        };
+        let normalized: String = lexed.masked[j + 1..content_end]
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .collect();
+        if !is_test_attr(&normalized) {
+            i = attr_end;
+            continue;
+        }
+        if inner {
+            // `#![cfg(test)]`: the whole file is a test module.
+            for l in lexed.test_lines.iter_mut() {
+                *l = true;
+            }
+            return;
+        }
+        let item_end = item_end_after_attrs(&mb, attr_end);
+        let first = lexed.line_of(attr_start);
+        let last = lexed.line_of(item_end.min(mb.len().saturating_sub(1)));
+        for line in first..=last {
+            if let Some(slot) = lexed.test_lines.get_mut(line - 1) {
+                *slot = true;
+            }
+        }
+        i = item_end;
+    }
+}
+
+/// Index of the matching closer for the opener at `open_at`.
+fn balanced(b: &[u8], open_at: usize, open: u8, close: u8) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut i = open_at;
+    while i < b.len() {
+        if b[i] == open {
+            depth += 1;
+        } else if b[i] == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Find the end of the item decorated by an attribute ending at `from`:
+/// skip further attributes, then scan to the item's closing `}` (brace
+/// matched) or terminating `;`.
+fn item_end_after_attrs(b: &[u8], mut from: usize) -> usize {
+    loop {
+        while from < b.len() && b[from].is_ascii_whitespace() {
+            from += 1;
+        }
+        if from < b.len() && b[from] == b'#' {
+            let mut j = from + 1;
+            while j < b.len() && b[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if j < b.len() && b[j] == b'[' {
+                match balanced(b, j, b'[', b']') {
+                    Some(close) => {
+                        from = close + 1;
+                        continue;
+                    }
+                    None => return b.len(),
+                }
+            }
+        }
+        break;
+    }
+    let mut i = from;
+    let mut paren_depth = 0usize;
+    while i < b.len() {
+        match b[i] {
+            b'(' | b'[' => paren_depth += 1,
+            b')' | b']' => paren_depth = paren_depth.saturating_sub(1),
+            b';' if paren_depth == 0 => return i + 1,
+            b'{' => {
+                return match balanced(b, i, b'{', b'}') {
+                    Some(close) => close + 1,
+                    None => b.len(),
+                };
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    b.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings() {
+        let src = "let a = \"panic!\"; // panic!\nlet b = 1; /* .unwrap( */\n";
+        let lx = lex(src);
+        assert!(!lx.masked.contains("panic!"));
+        assert!(!lx.masked.contains(".unwrap("));
+        assert!(lx.masked.contains("let a ="));
+        assert_eq!(lx.masked.len(), src.len());
+        assert_eq!(lx.strings.len(), 1);
+        assert_eq!(lx.strings[0].value, "panic!");
+    }
+
+    #[test]
+    fn nested_block_comments_and_raw_strings() {
+        let src = "/* a /* b */ still */ code(); let s = r#\"x \"quoted\" y\"#;";
+        let lx = lex(src);
+        assert!(lx.masked.contains("code()"));
+        assert!(!lx.masked.contains("still"));
+        assert!(!lx.masked.contains("quoted"));
+        assert_eq!(lx.strings[0].value, "x \"quoted\" y");
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'y'; let d = '\\n'; }";
+        let lx = lex(src);
+        assert!(lx.masked.contains("<'a>"));
+        assert!(lx.masked.contains("&'a str"));
+        assert!(!lx.masked.contains("'y'"));
+        assert!(!lx.masked.contains("\\n"));
+    }
+
+    #[test]
+    fn test_region_covers_cfg_test_module() {
+        let src = "fn hot() {}\n#[cfg(test)]\nmod tests {\n    fn x() { panic!() }\n}\nfn also_hot() {}\n";
+        let lx = lex(src);
+        assert!(!lx.is_test_line(1));
+        assert!(lx.is_test_line(2));
+        assert!(lx.is_test_line(3));
+        assert!(lx.is_test_line(4));
+        assert!(lx.is_test_line(5));
+        assert!(!lx.is_test_line(6));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn hot() { }\n";
+        let lx = lex(src);
+        assert!(!lx.is_test_line(2));
+    }
+
+    #[test]
+    fn pragmas_parse_and_malformed_ones_are_reported() {
+        let src = "// lint: allow(nondet-order, lookup only)\nlet x = 1;\n// lint: allow(oops\n";
+        let lx = lex(src);
+        assert_eq!(lx.pragmas.len(), 1);
+        assert_eq!(lx.pragmas[0].rule, "nondet-order");
+        assert_eq!(lx.pragmas[0].line, 1);
+        assert_eq!(lx.pragma_issues.len(), 1);
+        assert_eq!(lx.pragma_issues[0].line, 3);
+    }
+}

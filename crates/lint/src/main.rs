@@ -1,0 +1,130 @@
+//! CLI for `outboard-lint`.
+//!
+//! ```text
+//! outboard-lint [--workspace] [--root PATH] [--deny-all] [--json PATH]
+//!               [--self-check] [--quiet]
+//! ```
+//!
+//! Exit codes: 0 clean (or findings without `--deny-all`), 1 findings with
+//! `--deny-all` or a failed self-check, 2 usage/IO error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    root: Option<PathBuf>,
+    deny_all: bool,
+    json: Option<PathBuf>,
+    self_check: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        deny_all: false,
+        json: None,
+        self_check: false,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            // --workspace is the default (and only) scan mode; accepted for
+            // explicitness in CI invocations.
+            "--workspace" => {}
+            "--deny-all" => args.deny_all = true,
+            "--self-check" => args.self_check = true,
+            "--quiet" => args.quiet = true,
+            "--json" => {
+                let path = it.next().ok_or("--json requires a path")?;
+                args.json = Some(PathBuf::from(path));
+            }
+            "--root" => {
+                let path = it.next().ok_or("--root requires a path")?;
+                args.root = Some(PathBuf::from(path));
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// Ascend from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("outboard-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.self_check {
+        return match outboard_lint::self_check() {
+            Ok(n) => {
+                if !args.quiet {
+                    println!("outboard-lint: self-check ok ({n} fixtures)");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("outboard-lint: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let root = match args.root.clone().or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("outboard-lint: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let (files_scanned, findings) = match outboard_lint::scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("outboard-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(json_path) = &args.json {
+        let json = outboard_lint::render_json(&root, files_scanned, &findings);
+        if let Err(e) = std::fs::write(json_path, json) {
+            eprintln!("outboard-lint: writing {}: {e}", json_path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if !args.quiet {
+        print!("{}", outboard_lint::render_human(files_scanned, &findings));
+    }
+    if args.deny_all && !findings.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,366 @@
+//! The rule registry.
+//!
+//! Every rule is a function from a lexed file to findings. Rules scope
+//! themselves by path, run over the masked view (so comments and string
+//! literals never trip them), and skip test regions. Suppression via
+//! `// lint: allow(rule, reason)` pragmas is applied by the caller in
+//! [`crate::scan_source`].
+
+use crate::lexer::LexedFile;
+use crate::Finding;
+
+/// Names of every registered rule (pragmas naming anything else are
+/// themselves reported as `bad-pragma`).
+pub const RULE_NAMES: &[&str] = &[
+    "panic-hot-path",
+    "nondet-order",
+    "wallclock",
+    "metrics-naming",
+    "bad-pragma",
+];
+
+/// TX/RX hot-path modules where a panic would take down the whole host for
+/// a condition the driver is expected to survive (the fault-injection PR
+/// routed all of these through `CabError`).
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/core/src/kernel/output.rs",
+    "crates/core/src/kernel/input.rs",
+    "crates/core/src/kernel/robust.rs",
+    "crates/core/src/driver.rs",
+    "crates/cab/src/cab.rs",
+    "crates/cab/src/netmem.rs",
+    "crates/cab/src/mac.rs",
+];
+
+/// Crates whose state feeds the simulation: any iteration-order dependence
+/// here can leak into event ordering and break byte-identical runs.
+const SIM_FACING: &[&str] = &[
+    "crates/cab/src/",
+    "crates/core/src/",
+    "crates/host/src/",
+    "crates/netsim/src/",
+    "crates/sim/src/",
+    "crates/testbed/src/",
+];
+
+/// Paths exempt from the wallclock rule: the bench harness may legitimately
+/// read wall time and environment (it measures the real machine), and the
+/// lint tool itself parses argv.
+const WALLCLOCK_EXEMPT: &[&str] = &["crates/bench/", "crates/lint/"];
+
+struct ScanCx<'a> {
+    rel: &'a str,
+    lex: &'a LexedFile,
+    raw: &'a str,
+}
+
+/// Run every rule over one file.
+pub fn run_all(rel: &str, raw: &str, lex: &LexedFile) -> Vec<Finding> {
+    let cx = ScanCx { rel, lex, raw };
+    let mut findings = Vec::new();
+    panic_hot_path(&cx, &mut findings);
+    nondet_order(&cx, &mut findings);
+    wallclock(&cx, &mut findings);
+    metrics_naming(&cx, &mut findings);
+    bad_pragma(&cx, &mut findings);
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
+    findings
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Byte offsets where `needle` occurs in the masked text as a standalone
+/// token (preceding byte is not an identifier char; when
+/// `next_non_ident` is set, the following byte must not be one either).
+fn token_hits(lex: &LexedFile, needle: &str, next_non_ident: bool) -> Vec<usize> {
+    let hay = lex.masked.as_bytes();
+    let pat = needle.as_bytes();
+    let guard_prev = pat.first().copied().map(is_ident).unwrap_or(false);
+    let mut hits = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = find_from(hay, pat, from) {
+        from = pos + 1;
+        if guard_prev && pos > 0 && is_ident(hay[pos - 1]) {
+            continue;
+        }
+        if next_non_ident {
+            let after = pos + pat.len();
+            if after < hay.len() && is_ident(hay[after]) {
+                continue;
+            }
+        }
+        hits.push(pos);
+    }
+    hits
+}
+
+fn find_from(hay: &[u8], pat: &[u8], from: usize) -> Option<usize> {
+    if pat.is_empty() || from + pat.len() > hay.len() {
+        return None;
+    }
+    hay[from..]
+        .windows(pat.len())
+        .position(|w| w == pat)
+        .map(|p| p + from)
+}
+
+fn snippet_at(cx: &ScanCx<'_>, line: usize) -> String {
+    cx.raw
+        .lines()
+        .nth(line.saturating_sub(1))
+        .unwrap_or("")
+        .trim()
+        .chars()
+        .take(120)
+        .collect()
+}
+
+fn push(cx: &ScanCx<'_>, out: &mut Vec<Finding>, rule: &'static str, pos: usize, message: String) {
+    let line = cx.lex.line_of(pos);
+    if cx.lex.is_test_line(line) {
+        return;
+    }
+    out.push(Finding {
+        rule,
+        file: cx.rel.to_string(),
+        line,
+        message,
+        snippet: snippet_at(cx, line),
+    });
+}
+
+/// Rule 1: no panicking constructs in the TX/RX hot-path modules.
+fn panic_hot_path(cx: &ScanCx<'_>, out: &mut Vec<Finding>) {
+    if !HOT_PATH_FILES.contains(&cx.rel) {
+        return;
+    }
+    const NEEDLES: &[(&str, bool)] = &[
+        ("panic!", false),
+        (".unwrap(", false),
+        (".expect(", false),
+        ("unreachable!", false),
+        ("todo!", false),
+        ("unimplemented!", false),
+    ];
+    for &(needle, next) in NEEDLES {
+        for pos in token_hits(cx.lex, needle, next) {
+            push(
+                cx,
+                out,
+                "panic-hot-path",
+                pos,
+                format!("`{needle}` on a hot path: a driver must degrade, not abort"),
+            );
+        }
+    }
+}
+
+/// Rule 2: hash-ordered containers in sim-facing crates. `HashMap<…>` /
+/// `HashSet<…>` iteration order varies run to run; a type declared here
+/// must either be a `BTreeMap`/`BTreeSet` or carry a
+/// `// lint: allow(nondet-order, reason)` pragma asserting it is only ever
+/// used for keyed lookup.
+fn nondet_order(cx: &ScanCx<'_>, out: &mut Vec<Finding>) {
+    if !SIM_FACING.iter().any(|p| cx.rel.starts_with(p)) {
+        return;
+    }
+    let hay = cx.lex.masked.as_bytes();
+    for needle in ["HashMap", "HashSet"] {
+        for pos in token_hits(cx.lex, needle, false) {
+            // Only type positions (`HashMap<…>`) need a decision;
+            // `HashMap::new()` initializers follow from the declaration.
+            let mut after = pos + needle.len();
+            while after < hay.len() && hay[after].is_ascii_whitespace() {
+                after += 1;
+            }
+            if after >= hay.len() || hay[after] != b'<' {
+                continue;
+            }
+            push(
+                cx,
+                out,
+                "nondet-order",
+                pos,
+                format!(
+                    "`{needle}` in a sim-facing crate: iteration order is nondeterministic; \
+                     use BTreeMap/BTreeSet or pragma a lookup-only map"
+                ),
+            );
+        }
+    }
+}
+
+/// Rule 3: no wall-clock or environment reads outside the bench harness.
+/// Simulated time comes from `sim::Time`; anything else breaks replay.
+fn wallclock(cx: &ScanCx<'_>, out: &mut Vec<Finding>) {
+    if WALLCLOCK_EXEMPT.iter().any(|p| cx.rel.starts_with(p)) {
+        return;
+    }
+    const NEEDLES: &[(&str, bool)] = &[
+        ("Instant", true),
+        ("SystemTime", true),
+        ("std::env", true),
+        ("env::var", false),
+        ("env::vars", false),
+    ];
+    for &(needle, next) in NEEDLES {
+        for pos in token_hits(cx.lex, needle, next) {
+            push(
+                cx,
+                out,
+                "wallclock",
+                pos,
+                format!("`{needle}`: wall-clock/environment access outside crates/bench breaks determinism"),
+            );
+        }
+    }
+}
+
+/// Rule 4: metric names registered through `sim::obs` must fit the
+/// `host{i}.cab{j}.*` / `world.*` taxonomy: lowercase dotted snake_case,
+/// with `{…}` format holes allowed inside a segment.
+fn metrics_naming(cx: &ScanCx<'_>, out: &mut Vec<Finding>) {
+    if !SIM_FACING.iter().any(|p| cx.rel.starts_with(p)) {
+        return;
+    }
+    const CALLS: &[&str] = &[
+        ".counter(",
+        ".gauge(",
+        ".frac(",
+        ".busy_frac(",
+        ".hist(",
+        ".scope(",
+        ".sub(",
+    ];
+    for call in CALLS {
+        for pos in token_hits(cx.lex, call, false) {
+            let Some(lit) = literal_first_arg(cx, pos + call.len()) else {
+                continue;
+            };
+            if !valid_metric_name(&lit) {
+                push(
+                    cx,
+                    out,
+                    "metrics-naming",
+                    pos,
+                    format!(
+                        "metric name \"{lit}\" violates the taxonomy \
+                         (lowercase dotted snake_case, `{{hole}}`s allowed)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// If the first argument at `from` (raw text) is a string literal —
+/// possibly behind `&` and/or `format!(` — return its contents.
+fn literal_first_arg(cx: &ScanCx<'_>, mut from: usize) -> Option<String> {
+    let raw = cx.raw.as_bytes();
+    loop {
+        while from < raw.len() && raw[from].is_ascii_whitespace() {
+            from += 1;
+        }
+        if from < raw.len() && raw[from] == b'&' {
+            from += 1;
+            continue;
+        }
+        if cx.raw[from..].starts_with("format!") {
+            from += "format!".len();
+            while from < raw.len() && raw[from].is_ascii_whitespace() {
+                from += 1;
+            }
+            if from < raw.len() && raw[from] == b'(' {
+                from += 1;
+                continue;
+            }
+            return None;
+        }
+        break;
+    }
+    if from >= raw.len() || raw[from] != b'"' {
+        return None;
+    }
+    cx.lex
+        .strings
+        .iter()
+        .find(|s| s.start == from)
+        .map(|s| s.value.clone())
+}
+
+/// Lowercase dotted snake_case with `{…}` holes: `host{i}.cab{j}.frames`.
+fn valid_metric_name(name: &str) -> bool {
+    // Replace format holes with a valid placeholder char so `cab{j}`
+    // validates as `cab0` and a whole-segment hole like `{ch}` still
+    // counts as a non-empty segment.
+    let mut stripped = String::new();
+    let mut in_hole = false;
+    for c in name.chars() {
+        match c {
+            '{' if !in_hole => in_hole = true,
+            '}' if in_hole => {
+                in_hole = false;
+                stripped.push('0');
+            }
+            _ if in_hole => {}
+            _ => stripped.push(c),
+        }
+    }
+    if in_hole || stripped.is_empty() {
+        return false;
+    }
+    stripped.split('.').all(|seg| {
+        !seg.is_empty()
+            && seg
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+    })
+}
+
+/// Rule 5: malformed pragmas and pragmas naming unknown rules. Not
+/// suppressible (a pragma cannot vouch for itself).
+fn bad_pragma(cx: &ScanCx<'_>, out: &mut Vec<Finding>) {
+    for issue in &cx.lex.pragma_issues {
+        out.push(Finding {
+            rule: "bad-pragma",
+            file: cx.rel.to_string(),
+            line: issue.line,
+            message: issue.message.clone(),
+            snippet: snippet_at(cx, issue.line),
+        });
+    }
+    for pragma in &cx.lex.pragmas {
+        if !RULE_NAMES.contains(&pragma.rule.as_str()) {
+            out.push(Finding {
+                rule: "bad-pragma",
+                file: cx.rel.to_string(),
+                line: pragma.line,
+                message: format!("pragma allows unknown rule `{}`", pragma.rule),
+                snippet: snippet_at(cx, pragma.line),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::valid_metric_name;
+
+    #[test]
+    fn metric_name_shapes() {
+        assert!(valid_metric_name("tcp.segs_out"));
+        assert!(valid_metric_name("host{i}.cab{j}.frames_tx"));
+        assert!(valid_metric_name("channel.{ch}.frames_tx"));
+        assert!(valid_metric_name("world"));
+        assert!(!valid_metric_name("Bad Name"));
+        assert!(!valid_metric_name("tcp..segs"));
+        assert!(!valid_metric_name(".leading"));
+        assert!(!valid_metric_name("trailing."));
+        assert!(!valid_metric_name(""));
+        assert!(!valid_metric_name("host{i"));
+        assert!(!valid_metric_name("kebab-case"));
+    }
+}

@@ -12,7 +12,7 @@ use outboard_host::{Charge, Cpu, HostMem, MachineConfig, TaskId};
 use outboard_netsim::{Capture, Framing, Link};
 use outboard_sim::{Dur, EventQueue, MetricsRegistry, Time};
 use outboard_stack::{Effect, IfaceId, Kernel, SockId, StackConfig, TimerKind};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// What a scheduled event does when it fires. (Field meanings follow the
@@ -139,14 +139,14 @@ pub struct World {
     pub hosts: Vec<Host>,
     queue: EventQueue<Event>,
     /// Directed links keyed by the sending (host, iface).
-    pub links: HashMap<(usize, IfaceId), Link>,
+    pub links: BTreeMap<(usize, IfaceId), Link>,
     /// HIPPI fabric address → (host, iface).
-    hippi_map: HashMap<u32, (usize, IfaceId)>,
+    hippi_map: BTreeMap<u32, (usize, IfaceId)>,
     /// Ethernet segment: every Eth iface hears every EthTx (point-to-point
     /// in practice; the MAC filter is the receiver's problem).
-    eth_peers: HashMap<(usize, IfaceId), (usize, IfaceId)>,
+    eth_peers: BTreeMap<(usize, IfaceId), (usize, IfaceId)>,
     /// In-kernel socket → owning (host, app index).
-    kernel_socks: HashMap<(usize, SockId), usize>,
+    kernel_socks: BTreeMap<(usize, SockId), usize>,
     next_hippi_addr: u32,
     /// Frames that entered any link (diagnostics).
     pub frames_on_fabric: u64,
@@ -166,10 +166,10 @@ impl World {
         World {
             hosts: Vec::new(),
             queue: EventQueue::new(),
-            links: HashMap::new(),
-            hippi_map: HashMap::new(),
-            eth_peers: HashMap::new(),
-            kernel_socks: HashMap::new(),
+            links: BTreeMap::new(),
+            hippi_map: BTreeMap::new(),
+            eth_peers: BTreeMap::new(),
+            kernel_socks: BTreeMap::new(),
             next_hippi_addr: 1,
             frames_on_fabric: 0,
             bytes_on_fabric: 0,
@@ -202,11 +202,10 @@ impl World {
             host.cpu
                 .publish_metrics(&mut reg.scope(&format!("{name}.cpu")));
         }
-        let mut keys: Vec<&(usize, IfaceId)> = self.links.keys().collect();
-        keys.sort();
         let mut faults = outboard_netsim::FaultStats::default();
-        for key in keys {
-            let link = &self.links[key];
+        // BTreeMap iterates in sorted key order, so the registry layout is
+        // stable without an explicit sort.
+        for (key, link) in &self.links {
             let mut s = reg.scope(&format!("link.h{}.if{}", key.0, key.1 .0));
             link.publish_metrics(&mut s);
             let f = &link.faults.stats;

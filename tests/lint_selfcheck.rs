@@ -1,0 +1,39 @@
+//! The lint's own acceptance gates, run as part of tier-1:
+//!
+//! 1. the fixture self-check (every rule fires on a known-bad snippet and
+//!    stays quiet on the matching known-good one), and
+//! 2. a full scan of this repository, which must be clean — the same gate
+//!    CI enforces with `outboard-lint --workspace --deny-all`.
+
+use std::path::Path;
+
+#[test]
+fn fixture_self_check_passes() {
+    let checked = outboard_lint::self_check().expect("lint self-check failed");
+    assert!(checked >= 20, "suspiciously few fixtures: {checked}");
+}
+
+#[test]
+fn workspace_scan_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let (files, findings) = outboard_lint::scan_workspace(root).expect("scan");
+    assert!(
+        files >= 60,
+        "scanner saw only {files} files; did the walk break?"
+    );
+    assert!(
+        findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        outboard_lint::render_human(files, &findings)
+    );
+}
+
+#[test]
+fn json_report_is_well_formed_enough_to_grep() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let (files, findings) = outboard_lint::scan_workspace(root).expect("scan");
+    let json = outboard_lint::render_json(root, files, &findings);
+    assert!(json.starts_with('{') && json.ends_with("}\n"));
+    assert!(json.contains("\"files_scanned\""));
+    assert!(json.contains("\"findings\""));
+}
