@@ -123,4 +123,5 @@ fn main() {
     if outboard_bench::stats_requested() {
         outboard_bench::emit_stats("crossover", &m);
     }
+    outboard_bench::emit_trace(&m);
 }

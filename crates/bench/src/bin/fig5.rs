@@ -12,4 +12,5 @@ fn main() {
     if outboard_bench::stats_requested() {
         outboard_bench::emit_stats("fig5", &MachineConfig::alpha_3000_400());
     }
+    outboard_bench::emit_trace(&MachineConfig::alpha_3000_400());
 }

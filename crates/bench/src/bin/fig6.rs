@@ -11,4 +11,5 @@ fn main() {
     if outboard_bench::stats_requested() {
         outboard_bench::emit_stats("fig6", &MachineConfig::alpha_3000_300lx());
     }
+    outboard_bench::emit_trace(&MachineConfig::alpha_3000_300lx());
 }

@@ -125,6 +125,37 @@ fn main() {
     let (w, _) = timed_run("tcp_large_window", &cfg);
     workloads.push(w);
 
+    // 1b. Tracing overhead: the identical run with span tracing enabled
+    // but the trace never rendered (enabled-but-unused) vs the untraced
+    // baseline. Recording you never read must stay cheap; min-of-3 with an
+    // absolute floor so scheduler noise on fast smoke runs cannot trip the
+    // gate.
+    let min3_us = |cfg: &ExperimentConfig| {
+        (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                criterion::black_box(run_ttcp(cfg));
+                t0.elapsed().as_micros() as f64
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let untraced_us = min3_us(&cfg);
+    let mut traced_cfg = cfg.clone();
+    traced_cfg.trace_spans = true;
+    traced_cfg.trace_export = false;
+    let traced_us = min3_us(&traced_cfg);
+    let overhead_pct = (traced_us - untraced_us) / untraced_us.max(1.0) * 100.0;
+    let trace_overhead_ok = overhead_pct <= 2.0 || (traced_us - untraced_us) < 2_000.0;
+    workloads.push(Workload {
+        name: "trace_overhead",
+        fields: vec![
+            ("untraced_us", untraced_us),
+            ("traced_us", traced_us),
+            ("overhead_pct", overhead_pct),
+            ("within_budget", if trace_overhead_ok { 1.0 } else { 0.0 }),
+        ],
+    });
+
     // 2. Fault-matrix soak configuration.
     let total = if smoke { 1024 * 1024 } else { 4 * 1024 * 1024 };
     let mut cfg = experiment(&machine, true, 64 * 1024, total);
@@ -271,6 +302,13 @@ fn main() {
     }
     if !determinism_ok {
         eprintln!("perf: parallel sweep output DIFFERS from serial — failing");
+        std::process::exit(1);
+    }
+    if !trace_overhead_ok {
+        eprintln!(
+            "perf: span tracing costs {overhead_pct:.1}% wall-clock on \
+             tcp_large_window (budget: 2%) — failing"
+        );
         std::process::exit(1);
     }
 }

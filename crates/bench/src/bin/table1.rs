@@ -34,4 +34,5 @@ fn main() {
     }
     println!("\nThe paper's focus cell — Copy/Header over Outboard/DMA+C (sockets");
     println!("over the CAB) — is single-copy with zero CPU data accesses.");
+    outboard_bench::emit_trace(&outboard_host::MachineConfig::alpha_3000_400());
 }

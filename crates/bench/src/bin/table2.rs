@@ -59,4 +59,5 @@ fn main() {
         }
         println!("  lazy={lazy}: {:8.1} us total VM time", total);
     }
+    outboard_bench::emit_trace(&machine);
 }

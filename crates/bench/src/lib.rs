@@ -266,6 +266,98 @@ pub fn fault_args() -> FaultArgs {
     f
 }
 
+/// Causal-trace knobs shared by every benchmark binary.
+///
+/// `--trace-out FILE` asks the binary to run one representative traced
+/// experiment and write a Chrome trace-event / Perfetto JSON timeline to
+/// `FILE`; `--trace-flows N` caps how many flows get flow arrows (0 = all).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceArgs {
+    /// `--trace-out`: destination file for the Perfetto JSON trace.
+    pub out: Option<String>,
+    /// `--trace-flows`: flow-arrow cap (`None` = the experiment default).
+    pub flows: Option<Option<usize>>,
+}
+
+/// Parse the shared `--trace-*` flags (`--trace-out trace.json` or
+/// `--trace-out=trace.json`). A missing filename or malformed flow count
+/// aborts rather than silently running untraced.
+pub fn trace_args() -> TraceArgs {
+    let mut t = TraceArgs::default();
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let (flag, inline) = match argv[i].split_once('=') {
+            Some((name, val)) => (name, Some(val.to_string())),
+            None => (argv[i].as_str(), None),
+        };
+        if flag != "--trace-out" && flag != "--trace-flows" {
+            i += 1;
+            continue;
+        }
+        let val = match inline {
+            Some(v) => v,
+            None => {
+                i += 1;
+                argv.get(i).cloned().unwrap_or_default()
+            }
+        };
+        if flag == "--trace-out" {
+            if val.is_empty() || val.starts_with("--") {
+                eprintln!("--trace-out needs a filename, got {val:?}");
+                std::process::exit(2);
+            }
+            t.out = Some(val);
+        } else {
+            match val.parse::<usize>() {
+                Ok(0) => t.flows = Some(None),
+                Ok(n) => t.flows = Some(Some(n)),
+                Err(_) => {
+                    eprintln!("--trace-flows needs a count (0 = all), got {val:?}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        i += 1;
+    }
+    t
+}
+
+/// Honor `--trace-out`: re-run one representative point (single-copy stack,
+/// 64 KB writes, any `--fault-*` flags still applied) with span tracing
+/// enabled, write the Perfetto/chrome-trace JSON, and print the
+/// critical-path attribution for the busiest flow. A no-op when the flag
+/// was not passed, so every binary can call this unconditionally.
+pub fn emit_trace(machine: &MachineConfig) {
+    let t = trace_args();
+    let Some(path) = t.out else { return };
+    let mut stack = StackConfig::single_copy();
+    stack.force_single_copy = true;
+    let mut cfg = ExperimentConfig::new(machine.clone(), stack, 64 * 1024);
+    cfg.total_bytes = total_for(64 * 1024);
+    cfg.verify = false;
+    fault_args().apply(&mut cfg);
+    cfg.trace_spans = true;
+    if let Some(flows) = t.flows {
+        cfg.trace_flows = flows;
+    }
+    let m = run_ttcp(&cfg);
+    println!("\n== causal trace (single-copy stack, 64 KB writes) ==\n");
+    let opened = m.stats.counter_value("world.spans.opened");
+    let evicted = m.stats.counter_value("world.spans.evicted");
+    println!("spans recorded: {opened} (evicted: {evicted})");
+    if let Some(cp) = &m.critical_path {
+        print!("{}", cp.render());
+    }
+    match std::fs::write(&path, m.trace_json.as_deref().unwrap_or_default()) {
+        Ok(()) => println!("wrote {path} (open in https://ui.perfetto.dev or chrome://tracing)"),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Render and persist a full metrics snapshot for one representative run.
 ///
 /// Runs a single-copy 64 KB-write transfer on `machine`, prints the

@@ -13,7 +13,8 @@ use bytes::Bytes;
 use outboard_cab::{CabError, PacketId, SdmaDst, SdmaRx};
 use outboard_host::{Charge, HostMem, TaskId, UserMemory};
 use outboard_mbuf::{Chain, Mbuf, MbufData, WcabDesc};
-use outboard_sim::Time;
+use outboard_sim::span::{FlowId, Stage};
+use outboard_sim::{Dur, Time};
 use outboard_wire::hippi::{HippiHeader, HIPPI_HEADER_LEN};
 use outboard_wire::ipv4::Ipv4Header;
 use outboard_wire::tcp::{TcpFlags, TcpHeader};
@@ -56,8 +57,17 @@ impl Kernel {
         match &self.ifaces[iface.0 as usize].kind {
             IfaceKind::Cab(_) => {
                 // Hardware path: no CPU until the receive interrupt.
+                let flow = if self.spans.on() {
+                    super::frame_flow(&frame, HIPPI_HEADER_LEN)
+                } else {
+                    FlowId::NONE
+                };
+                let frame_len = frame.len() as u64;
                 self.with_cab(iface, |k, cab| {
                     let ev = cab.cab.receive_frame(frame, now);
+                    if k.spans.on() {
+                        k.spans.span(flow, Stage::MdmaRx, now, ev.at(), frame_len);
+                    }
                     k.fx.push(Effect::Cab { iface, event: ev });
                 });
             }
@@ -129,6 +139,17 @@ impl Kernel {
         // in software is exactly the per-byte cost the paper measures it
         // paying.
         let hw = (self.cfg.mode == crate::types::StackMode::SingleCopy).then_some(hw_csum);
+        if self.spans.on() {
+            // The demux stage covers the interrupt + IP + transport input
+            // CPU work charged on this path.
+            let flow = super::frame_flow(&autodma, HIPPI_HEADER_LEN);
+            let us = self.machine.cost_interrupt_us
+                + self.machine.cost_ip_us
+                + self.machine.cost_tcp_input_us;
+            let end = now + Dur::from_micros_f64(us);
+            self.spans
+                .span(flow, Stage::Demux, now, end, frame_len as u64);
+        }
         let rx = RxPacket {
             iface,
             prefix: autodma.slice(HIPPI_HEADER_LEN..),
@@ -587,6 +608,7 @@ impl Kernel {
 
         // Newly acknowledged data: drop from so_snd, free outboard buffers.
         if r.acked_bytes > 0 {
+            self.span_ack(sock, r.acked_bytes as u64, now);
             self.ack_free(sock, r.acked_bytes, now);
             // Restart the retransmission timer from the new left edge.
             if let Some(s) = self.sockets.get_mut(&sock) {
@@ -714,10 +736,17 @@ impl Kernel {
             self.discard_chain(chain, now);
             return;
         };
+        let blen = chain.len() as u64;
+        // Kernel-owner sockets drain so_rcv synchronously (conversion
+        // queue), so only user sockets accrue sockbuf-dwell spans.
+        let track = s.owner != Owner::Kernel;
         if let Some(from) = dgram_from {
             s.dgram_bounds.push_back((chain.len(), from));
         }
         s.so_rcv.chain.concat(chain);
+        if track {
+            self.span_sockbuf_enqueue(sock, blen, now);
+        }
     }
 
     fn on_connected(&mut self, sock: SockId) {
@@ -975,7 +1004,7 @@ impl Kernel {
         interrupt: bool,
         data: Option<Bytes>,
         mem: &mut HostMem,
-        _now: Time,
+        now: Time,
     ) -> Vec<Effect> {
         if interrupt {
             self.cpu(self.machine.cost_interrupt_us, Charge::Interrupt);
@@ -1029,6 +1058,7 @@ impl Kernel {
                         if let Some(s) = self.sockets.get_mut(&sock) {
                             s.blocked_read = None;
                         }
+                        self.span_recv_complete(sock, now);
                         self.wake(task, sock, Charge::Interrupt);
                     }
                 }
@@ -1293,11 +1323,23 @@ impl Kernel {
             plan.flags,
         );
         hdr.window = plan.window;
+        let flow = if self.spans.on() {
+            let group = FlowId::group_of(
+                local.ip.octets(),
+                local.port,
+                remote.ip.octets(),
+                remote.port,
+            );
+            FlowId::from_parts(group, plan.seq)
+        } else {
+            FlowId::NONE
+        };
         let meta = TxMeta {
             sock: Some(sock),
             seq_lo: plan.seq,
             retransmit: plan.retransmit,
             free_after_mdma: plan.data_len == 0,
+            flow,
         };
         self.transport_output(
             local.ip,

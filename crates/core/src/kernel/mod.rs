@@ -36,6 +36,7 @@ use bytes::Bytes;
 use outboard_cab::{Cab, PacketId, SdmaDst, SdmaRx};
 use outboard_host::{Charge, HostMem, MachineConfig, MemorySystem, TaskId, UserMemory, VmSystem};
 use outboard_mbuf::{Chain, Mbuf, MbufData, MbufStats, UioDesc, UioRegion, WcabDesc};
+use outboard_sim::span::{FlowId, SpanSink, Stage};
 use outboard_sim::trace::Trace;
 use outboard_sim::{Dur, Time};
 use outboard_wire::ether::MacAddr;
@@ -112,6 +113,8 @@ pub(crate) struct TxMeta {
     pub retransmit: bool,
     /// Free the outboard buffer right after MDMA (no retransmission need).
     pub free_after_mdma: bool,
+    /// Causal-trace flow id ([`FlowId::NONE`] when tracing is disabled).
+    pub flow: FlowId,
 }
 
 impl TxMeta {
@@ -121,6 +124,7 @@ impl TxMeta {
             seq_lo: 0,
             retransmit: false,
             free_after_mdma: true,
+            flow: FlowId::NONE,
         }
     }
 }
@@ -172,6 +176,8 @@ pub struct Kernel {
     pub mbuf_stats: MbufStats,
     /// Mechanism-level event trace.
     pub trace: Trace,
+    /// Per-packet causal span sink (disabled by default; see `sim::span`).
+    pub spans: SpanSink,
     /// Reusable scratch buffer for header assembly and descriptor reads on
     /// the transmit/checksum hot paths (grown once, then recycled).
     pub(crate) scratch: Vec<u8>,
@@ -204,6 +210,7 @@ impl Kernel {
             tcp_closed: TcpStats::default(),
             mbuf_stats: MbufStats::default(),
             trace: Trace::new(16 * 1024),
+            spans: SpanSink::disabled(),
             scratch: Vec::new(),
         }
     }
@@ -606,6 +613,11 @@ impl Kernel {
     ) -> Result<(WriteResult, Vec<Effect>), StackError> {
         self.cpu(self.machine.cost_syscall_us, Charge::Syscall);
         let proto = self.sockets.get(&sock).ok_or(StackError::BadSocket)?.proto;
+        if self.spans.on() {
+            let flow = self.flow_id_tx(sock);
+            let end = now + Dur::from_micros_f64(self.machine.cost_syscall_us);
+            self.spans.span(flow, Stage::Syscall, now, end, len as u64);
+        }
         match proto {
             Proto::Tcp => self.tcp_write(sock, task, vaddr, len, mem, now),
             Proto::Udp => self.udp_write(sock, task, vaddr, len, mem, now),
@@ -841,6 +853,8 @@ impl Kernel {
             let s = self.sockets.get_mut(&sock).unwrap();
             s.so_rcv.chain.split_front(take)
         };
+        self.spans
+            .span_close_bytes(sock.0 as u64, Stage::Sockbuf, now, take as u64);
 
         let mut dma_bytes = 0usize;
         let mut dst_off = 0usize;
@@ -884,8 +898,17 @@ impl Kernel {
                 pinned_vaddr: vaddr,
                 pinned_len: take,
             });
+            if self.spans.on() {
+                let flow = self.flow_id_rx(sock);
+                self.spans
+                    .span_open(sock.0 as u64, flow, Stage::SysRecv, now, take as u64);
+            }
             Ok((ReadResult::BlockedDma { bytes: take }, self.take_effects()))
         } else {
+            if self.spans.on() {
+                let flow = self.flow_id_rx(sock);
+                self.spans.span(flow, Stage::SysRecv, now, now, take as u64);
+            }
             Ok((ReadResult::Done { bytes: take }, self.take_effects()))
         }
     }
@@ -1189,6 +1212,11 @@ impl Kernel {
         let Some(s) = self.sockets.remove(&sock) else {
             return;
         };
+        // Any sockbuf-dwell or blocked-read spans die with the socket.
+        if self.spans.on() {
+            while self.spans.span_drop(sock.0 as u64, Stage::Sockbuf, now) {}
+            while self.spans.span_drop(sock.0 as u64, Stage::SysRecv, now) {}
+        }
         // Preserve the connection's netstat counters past its lifetime.
         if let Some(tcb) = &s.tcb {
             self.tcp_closed.absorb(tcb);
@@ -1245,6 +1273,95 @@ impl Kernel {
         agg
     }
 
+    // ------------------------------------------------------------------
+    // causal-span helpers
+    //
+    // Hot-path files (output/input/robust/driver) never call `span_open`
+    // directly — cross-function opens route through these helpers so the
+    // lint `span-balance` rule can check open/close pairing per function.
+    // ------------------------------------------------------------------
+
+    /// Data-direction flow id for bytes this socket is *sending*
+    /// (`local → remote`, sequence = next send sequence number).
+    pub(crate) fn flow_id_tx(&self, sock: SockId) -> FlowId {
+        let Some(s) = self.sockets.get(&sock) else {
+            return FlowId::NONE;
+        };
+        let (Some(l), Some(r)) = (s.local, s.remote) else {
+            return FlowId::NONE;
+        };
+        let group = FlowId::group_of(l.ip.octets(), l.port, r.ip.octets(), r.port);
+        let seq = s.tcb.as_ref().map(|t| t.snd_nxt).unwrap_or(0);
+        FlowId::from_parts(group, seq)
+    }
+
+    /// Data-direction flow id for bytes this socket is *receiving*
+    /// (`remote → local`; group only — receive spans cover byte ranges,
+    /// not individual segments).
+    pub(crate) fn flow_id_rx(&self, sock: SockId) -> FlowId {
+        let Some(s) = self.sockets.get(&sock) else {
+            return FlowId::NONE;
+        };
+        let (Some(l), Some(r)) = (s.local, s.remote) else {
+            return FlowId::NONE;
+        };
+        FlowId::group_only(FlowId::group_of(
+            r.ip.octets(),
+            r.port,
+            l.ip.octets(),
+            l.port,
+        ))
+    }
+
+    /// Open a sockbuf-dwell span: `bytes` of in-order data entered
+    /// `so_rcv` and now wait for the application to read them.
+    pub(crate) fn span_sockbuf_enqueue(&mut self, sock: SockId, bytes: u64, now: Time) {
+        if self.spans.on() {
+            let flow = self.flow_id_rx(sock);
+            self.spans
+                .span_open(sock.0 as u64, flow, Stage::Sockbuf, now, bytes);
+        }
+    }
+
+    /// Close the blocked-read span opened by `sys_read` once its copy-out
+    /// DMA drains and the reader is woken.
+    pub(crate) fn span_recv_complete(&mut self, sock: SockId, now: Time) {
+        if self.spans.on() {
+            self.spans.span_close(sock.0 as u64, Stage::SysRecv, now);
+        }
+    }
+
+    /// Record an ACK-arrival causality point on the *send* direction.
+    pub(crate) fn span_ack(&mut self, sock: SockId, acked: u64, now: Time) {
+        if self.spans.on() {
+            let flow = self.flow_id_tx(sock);
+            self.spans.span(flow, Stage::Ack, now, now, acked);
+        }
+    }
+
+    /// Open a fault-detour span (retry dwell / degraded mode) keyed by
+    /// interface.
+    pub(crate) fn span_detour_open(&mut self, iface: IfaceId, stage: Stage, now: Time) {
+        self.spans
+            .span_open(iface.0 as u64, FlowId::NONE, stage, now, 0);
+    }
+
+    /// Close every open detour span of this stage for the interface.
+    pub(crate) fn span_detour_close_all(&mut self, iface: IfaceId, stage: Stage, now: Time) {
+        while self.spans.span_close(iface.0 as u64, stage, now) {}
+    }
+
+    /// Drop (abandon) every open detour span of this stage for the
+    /// interface — the work it covered was given up, not completed.
+    pub(crate) fn span_detour_drop_all(&mut self, iface: IfaceId, stage: Stage, now: Time) {
+        while self.spans.span_drop(iface.0 as u64, stage, now) {}
+    }
+
+    /// Record a complete (instantaneous or pre-timed) detour span.
+    pub(crate) fn span_detour(&mut self, stage: Stage, start: Time, end: Time, bytes: u64) {
+        self.spans.span(FlowId::NONE, stage, start, end, bytes);
+    }
+
     /// Publish this kernel's metrics into a registry scope: IP/TCP/UDP
     /// protocol counters, checksum and mbuf-path accounting, VM activity,
     /// and each CAB interface's engine/netmem state.
@@ -1296,6 +1413,17 @@ impl Kernel {
 
         s.counter("trace.events_evicted", self.trace.dropped());
 
+        // Span accounting is published only while tracing is enabled so
+        // untraced runs keep byte-identical stats (parallel-sweep gate).
+        if self.spans.on() {
+            let mut sp = s.sub("spans");
+            sp.counter("opened", self.spans.opened());
+            sp.counter("closed", self.spans.closed());
+            sp.counter("dropped", self.spans.dropped());
+            sp.counter("evicted", self.spans.evicted());
+            sp.counter("open", self.spans.open_count() as u64);
+        }
+
         self.vm.publish_metrics(&mut s.sub("vm"));
         for iface in &self.ifaces {
             if let Some(ci) = iface.cab_ref() {
@@ -1305,4 +1433,40 @@ impl Kernel {
             }
         }
     }
+}
+
+/// Compute the data-direction flow id of a frame from its wire-visible
+/// headers; `ip_off` is the length of the link framing in front of the IP
+/// header (e.g. [`outboard_wire::hippi::HIPPI_HEADER_LEN`]).
+///
+/// Only called when span tracing is on. Ports (and the TCP sequence
+/// number) are read straight from the transport header so the result
+/// matches what the sending socket stamped, even when only a DMA prefix
+/// of the datagram is available. Returns [`FlowId::NONE`] when the
+/// headers don't parse.
+pub fn frame_flow(frame: &[u8], ip_off: usize) -> FlowId {
+    let Some(ip_bytes) = frame.get(ip_off..) else {
+        return FlowId::NONE;
+    };
+    let Ok(ip) = outboard_wire::Ipv4Header::parse_with_limit(ip_bytes, u16::MAX as usize) else {
+        return FlowId::NONE;
+    };
+    let Some(t) = ip_bytes.get(ip.header_len as usize..) else {
+        return FlowId::NONE;
+    };
+    let (sport, dport, seq) = match ip.protocol {
+        outboard_wire::proto::TCP if t.len() >= 8 => (
+            u16::from_be_bytes([t[0], t[1]]),
+            u16::from_be_bytes([t[2], t[3]]),
+            u32::from_be_bytes([t[4], t[5], t[6], t[7]]),
+        ),
+        outboard_wire::proto::UDP if t.len() >= 4 => (
+            u16::from_be_bytes([t[0], t[1]]),
+            u16::from_be_bytes([t[2], t[3]]),
+            0,
+        ),
+        _ => return FlowId::NONE,
+    };
+    let group = FlowId::group_of(ip.src.octets(), sport, ip.dst.octets(), dport);
+    FlowId::from_parts(group, seq)
 }

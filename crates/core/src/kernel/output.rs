@@ -12,6 +12,7 @@ use bytes::Bytes;
 use outboard_cab::{CabError, ChecksumSpec, PacketId, SdmaTx, SgEntry};
 use outboard_host::{Charge, HostMem};
 use outboard_mbuf::{Chain, CsumPlan, MbufData};
+use outboard_sim::span::{FlowId, Stage};
 use outboard_sim::Time;
 use outboard_wire::checksum::{pseudo_header_sum, Accumulator};
 use outboard_wire::ether::{EtherHeader, ETHER_HEADER_LEN};
@@ -65,6 +66,17 @@ impl Kernel {
         hdr.window = plan.window;
         hdr.mss = plan.mss_opt;
         hdr.window_scale = plan.ws_opt;
+        let flow = if self.spans.on() {
+            let group = FlowId::group_of(
+                local.ip.octets(),
+                local.port,
+                remote.ip.octets(),
+                remote.port,
+            );
+            FlowId::from_parts(group, plan.seq)
+        } else {
+            FlowId::NONE
+        };
         let meta = TxMeta {
             sock: Some(sock),
             seq_lo: plan.seq,
@@ -74,8 +86,14 @@ impl Kernel {
             // traditional-path data (which retransmits from kernel mbufs)
             // free right after MDMA.
             free_after_mdma: plan.data_len == 0 || !data.has_uio(),
+            flow,
         };
         self.stats.tcp_segs_out += 1;
+        if self.spans.on() {
+            let end = now + outboard_sim::Dur::from_micros_f64(self.machine.cost_tcp_output_us);
+            self.spans
+                .span(flow, Stage::KernelOutput, now, end, plan.data_len as u64);
+        }
         if plan.retransmit {
             self.stats.tcp_retransmit_segs += 1;
             self.trace.record(
@@ -84,6 +102,10 @@ impl Kernel {
                 "retransmit",
                 format!("seq {} len {}", plan.seq, plan.data_len),
             );
+            if self.spans.on() {
+                self.spans
+                    .span(flow, Stage::Retransmit, now, now, plan.data_len as u64);
+            }
         }
         self.transport_output(
             local.ip,
@@ -601,6 +623,24 @@ impl Kernel {
                             match cab.cab.sdma_tx(req, now, mem) {
                                 Ok(ev) => {
                                     let sdma_done = ev.at();
+                                    if k.spans.on() {
+                                        k.spans.span(
+                                            meta.flow,
+                                            Stage::Sdma,
+                                            now,
+                                            sdma_done,
+                                            full_hdr_len as u64,
+                                        );
+                                        if spec.is_some() {
+                                            k.spans.span(
+                                                meta.flow,
+                                                Stage::Checksum,
+                                                now,
+                                                sdma_done,
+                                                data_len as u64,
+                                            );
+                                        }
+                                    }
                                     k.fx.push(Effect::Cab {
                                         iface: iface_id,
                                         event: ev,
@@ -609,10 +649,21 @@ impl Kernel {
                                         .cab
                                         .mdma_tx(packet, hippi_dst, channel, sdma_done, false)
                                     {
-                                        Ok(ev) => k.fx.push(Effect::Cab {
-                                            iface: iface_id,
-                                            event: ev,
-                                        }),
+                                        Ok(ev) => {
+                                            if k.spans.on() {
+                                                k.spans.span(
+                                                    meta.flow,
+                                                    Stage::MdmaTx,
+                                                    sdma_done,
+                                                    ev.at(),
+                                                    frame_len as u64,
+                                                );
+                                            }
+                                            k.fx.push(Effect::Cab {
+                                                iface: iface_id,
+                                                event: ev,
+                                            })
+                                        }
                                         Err(e) => {
                                             // The header is refreshed; only
                                             // the media transfer is parked.
@@ -627,6 +678,7 @@ impl Kernel {
                                                     channel,
                                                     free_after: false,
                                                 },
+                                                now,
                                             );
                                         }
                                     }
@@ -755,6 +807,7 @@ impl Kernel {
                         data_len,
                         hdr_len: full_hdr_len,
                     },
+                    now,
                 );
                 return;
             };
@@ -778,6 +831,19 @@ impl Kernel {
             match cab.cab.sdma_tx(req, now, mem) {
                 Ok(ev) => {
                     let sdma_done = ev.at();
+                    if k.spans.on() {
+                        k.spans
+                            .span(meta.flow, Stage::Sdma, now, sdma_done, frame_len as u64);
+                        if spec.is_some() {
+                            k.spans.span(
+                                meta.flow,
+                                Stage::Checksum,
+                                now,
+                                sdma_done,
+                                data_len as u64,
+                            );
+                        }
+                    }
                     k.fx.push(Effect::Cab {
                         iface: iface_id,
                         event: ev,
@@ -789,10 +855,21 @@ impl Kernel {
                         sdma_done,
                         meta.free_after_mdma,
                     ) {
-                        Ok(ev) => k.fx.push(Effect::Cab {
-                            iface: iface_id,
-                            event: ev,
-                        }),
+                        Ok(ev) => {
+                            if k.spans.on() {
+                                k.spans.span(
+                                    meta.flow,
+                                    Stage::MdmaTx,
+                                    sdma_done,
+                                    ev.at(),
+                                    frame_len as u64,
+                                );
+                            }
+                            k.fx.push(Effect::Cab {
+                                iface: iface_id,
+                                event: ev,
+                            })
+                        }
                         Err(e) => {
                             // The packet is gathered outboard; only the
                             // media transfer needs a retry.
@@ -807,6 +884,7 @@ impl Kernel {
                                     channel,
                                     free_after: meta.free_after_mdma,
                                 },
+                                now,
                             );
                         }
                     }
@@ -837,6 +915,7 @@ impl Kernel {
                             data_len,
                             hdr_len: full_hdr_len,
                         },
+                        now,
                     );
                 }
             }
@@ -964,12 +1043,29 @@ impl Kernel {
         }
         let hdr = UdpHeader::new(local.port, remote.port, data.len());
         self.stats.udp_datagrams_out += 1;
+        let flow = if self.spans.on() {
+            let group = FlowId::group_of(
+                local.ip.octets(),
+                local.port,
+                remote.ip.octets(),
+                remote.port,
+            );
+            FlowId::group_only(group)
+        } else {
+            FlowId::NONE
+        };
         let meta = TxMeta {
             sock: Some(sock),
             seq_lo: 0,
             retransmit: false,
             free_after_mdma: true,
+            flow,
         };
+        if self.spans.on() {
+            let end = now + outboard_sim::Dur::from_micros_f64(self.machine.cost_udp_us);
+            self.spans
+                .span(flow, Stage::KernelOutput, now, end, data.len() as u64);
+        }
         self.transport_output(
             local.ip,
             remote.ip,

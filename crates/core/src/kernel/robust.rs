@@ -17,6 +17,7 @@ use bytes::Bytes;
 use outboard_cab::{CabError, CabEvent, PacketId, SdmaDst, SdmaRx, SdmaTx};
 use outboard_host::{Charge, HostMem, UserMemory};
 use outboard_mbuf::{Mbuf, MbufData};
+use outboard_sim::span::Stage;
 use outboard_sim::{Dur, Time};
 
 impl Kernel {
@@ -54,8 +55,15 @@ impl Kernel {
     }
 
     /// Park a transmission on the retry queue and arm the backoff timer.
-    pub(crate) fn park_tx(k: &mut Kernel, cab: &mut CabIface, iface: IfaceId, entry: PendingTx) {
+    pub(crate) fn park_tx(
+        k: &mut Kernel,
+        cab: &mut CabIface,
+        iface: IfaceId,
+        entry: PendingTx,
+        now: Time,
+    ) {
         cab.retry_q.push_back(entry);
+        k.span_detour_open(iface, Stage::RetryDwell, now);
         if cab.health.retry_armed {
             return;
         }
@@ -217,6 +225,9 @@ impl Kernel {
     /// whatever fails again waits for the next (doubled) round, and after
     /// `cab_retry_max` rounds the driver gives up and degrades.
     pub(crate) fn cab_retry_fire(&mut self, iface_id: IfaceId, mem: &mut HostMem, now: Time) {
+        // Every parked transmission's dwell ends here; if some re-park, a
+        // fresh dwell span covers the queue until the next round.
+        self.span_detour_close_all(iface_id, Stage::RetryDwell, now);
         let give_up = self.with_cab(iface_id, |k, cab| {
             cab.health.retry_armed = false;
             let parked: Vec<PendingTx> = cab.retry_q.drain(..).collect();
@@ -232,6 +243,7 @@ impl Kernel {
             if cab.health.retry_round >= k.cfg.cab_retry_max {
                 return true;
             }
+            k.span_detour_open(iface_id, Stage::RetryDwell, now);
             cab.health.retry_armed = true;
             cab.health.retry_gen += 1;
             let after = k.cab_backoff(cab.health.retry_round);
@@ -276,6 +288,7 @@ impl Kernel {
             if !cab.health.degraded {
                 cab.health.degraded = true;
                 cab.health.stats.degraded_entries += 1;
+                k.span_detour_open(iface_id, Stage::Degraded, now);
             }
             cab.health.probe_gen += 1;
             k.fx.push(Effect::Timer {
@@ -334,6 +347,7 @@ impl Kernel {
             if healthy {
                 cab.health.degraded = false;
                 cab.health.stats.degraded_exits += 1;
+                k.span_detour_close_all(iface_id, Stage::Degraded, now);
             } else {
                 cab.health.probe_gen += 1;
                 k.fx.push(Effect::Timer {
@@ -369,6 +383,9 @@ impl Kernel {
             return;
         }
         self.cpu(self.machine.cost_interrupt_us, Charge::Interrupt);
+        self.span_detour(Stage::WatchdogReset, now, now, 0);
+        // Parked transmissions die with the reset; their dwell is abandoned.
+        self.span_detour_drop_all(iface_id, Stage::RetryDwell, now);
 
         // 1. Rescue: network memory stays host-addressable even with the
         //    DMA engines stuck, so every M_WCAB descriptor (this interface)
@@ -405,6 +422,7 @@ impl Kernel {
             if !cab.health.degraded {
                 cab.health.degraded = true;
                 cab.health.stats.degraded_entries += 1;
+                k.span_detour_open(iface_id, Stage::Degraded, now);
             }
             cab.health.probe_gen += 1;
             k.fx.push(Effect::Timer {
@@ -525,6 +543,7 @@ impl Kernel {
                     cab.cab.free_packet(req.packet, now);
                 }
                 cab.health.stats.pio_fallbacks += 1;
+                k.span_detour(Stage::PioFallback, now, now, req.len as u64);
                 k.fx.push(Effect::Cab {
                     iface,
                     event: CabEvent::SdmaDone {

@@ -15,7 +15,10 @@
 //! * `wallclock` — no `Instant`/`SystemTime`/environment reads outside
 //!   `crates/bench`;
 //! * `metrics-naming` — metric names must fit the `host{i}.cab{j}.*` /
-//!   `world.*` taxonomy;
+//!   `world.*` taxonomy (which includes the causal-tracing
+//!   `world.spans.*` namespace);
+//! * `span-balance` — a `span_open` in a hot-path module must have a
+//!   matching `span_close`/`span_drop` in the same function;
 //! * `bad-pragma` — malformed or unknown-rule suppressions.
 //!
 //! Suppression: `// lint: allow(rule-name, reason)` on the flagged line or
@@ -344,6 +347,48 @@ const FIXTURES: &[Fixture] = &[
         rel: "crates/sim/src/obs.rs",
         src: "fn f(s: &mut Scope, name: &str) { s.counter(name, 1); }\n",
         rule: "metrics-naming",
+        expect: 0,
+    },
+    Fixture {
+        name: "spans metric namespace passes taxonomy",
+        rel: "crates/testbed/src/world.rs",
+        src: "fn f(s: &mut Scope) { s.counter(\"world.spans.opened\", 1); s.counter(\"world.spans.mdma_rx.p99_ns\", 1); }\n",
+        rule: "metrics-naming",
+        expect: 0,
+    },
+    Fixture {
+        name: "unbalanced span_open fires on hot path",
+        rel: "crates/core/src/kernel/input.rs",
+        src: "fn f(k: &mut K, now: Time) { k.spans.span_open(1, FlowId::NONE, Stage::Sockbuf, now, 0); }\n",
+        rule: "span-balance",
+        expect: 1,
+    },
+    Fixture {
+        name: "span_open with close in same fn is balanced",
+        rel: "crates/core/src/kernel/input.rs",
+        src: "fn f(k: &mut K, now: Time) {\n    k.spans.span_open(1, FlowId::NONE, Stage::Sockbuf, now, 0);\n    k.spans.span_close(1, Stage::Sockbuf, now);\n}\n",
+        rule: "span-balance",
+        expect: 0,
+    },
+    Fixture {
+        name: "span_open with drop in same fn is balanced",
+        rel: "crates/core/src/kernel/robust.rs",
+        src: "fn f(k: &mut K, now: Time) {\n    k.spans.span_open(1, FlowId::NONE, Stage::Wire, now, 0);\n    k.spans.span_drop(1, Stage::Wire, now);\n}\n",
+        rule: "span-balance",
+        expect: 0,
+    },
+    Fixture {
+        name: "span helpers off hot path ignored",
+        rel: "crates/core/src/kernel/mod.rs",
+        src: "fn f(k: &mut K, now: Time) { k.spans.span_open(1, FlowId::NONE, Stage::Sockbuf, now, 0); }\n",
+        rule: "span-balance",
+        expect: 0,
+    },
+    Fixture {
+        name: "detour helper call is not a span_open",
+        rel: "crates/core/src/kernel/robust.rs",
+        src: "fn f(k: &mut K, now: Time) { k.span_detour_open(IfaceId(0), Stage::RetryDwell, now); }\n",
+        rule: "span-balance",
         expect: 0,
     },
     Fixture {

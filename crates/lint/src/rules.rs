@@ -16,6 +16,7 @@ pub const RULE_NAMES: &[&str] = &[
     "nondet-order",
     "wallclock",
     "metrics-naming",
+    "span-balance",
     "bad-pragma",
 ];
 
@@ -62,6 +63,7 @@ pub fn run_all(rel: &str, raw: &str, lex: &LexedFile) -> Vec<Finding> {
     nondet_order(&cx, &mut findings);
     wallclock(&cx, &mut findings);
     metrics_naming(&cx, &mut findings);
+    span_balance(&cx, &mut findings);
     bad_pragma(&cx, &mut findings);
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     findings.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
@@ -220,8 +222,10 @@ fn wallclock(cx: &ScanCx<'_>, out: &mut Vec<Finding>) {
 }
 
 /// Rule 4: metric names registered through `sim::obs` must fit the
-/// `host{i}.cab{j}.*` / `world.*` taxonomy: lowercase dotted snake_case,
-/// with `{…}` format holes allowed inside a segment.
+/// `host{i}.cab{j}.*` / `world.*` taxonomy — including the causal-tracing
+/// `world.spans.*` / `host{i}.spans.*` namespace (per-stage `p50_ns`,
+/// `p99_ns`, `max_ns`, `bytes` leaves): lowercase dotted snake_case, with
+/// `{…}` format holes allowed inside a segment.
 fn metrics_naming(cx: &ScanCx<'_>, out: &mut Vec<Finding>) {
     if !SIM_FACING.iter().any(|p| cx.rel.starts_with(p)) {
         return;
@@ -320,7 +324,93 @@ fn valid_metric_name(name: &str) -> bool {
     })
 }
 
-/// Rule 5: malformed pragmas and pragmas naming unknown rules. Not
+/// Rule 5: span accounting on the hot path. A `span_open(` call whose
+/// enclosing function never calls `span_close`/`span_close_bytes`/
+/// `span_drop` leaks an open span: it will surface as `dropped` at run
+/// teardown instead of a measured close. Cross-function open/close pairs
+/// belong in the `kernel/mod.rs` helper layer (`span_detour_open` and
+/// friends), which this rule deliberately does not match.
+fn span_balance(cx: &ScanCx<'_>, out: &mut Vec<Finding>) {
+    if !HOT_PATH_FILES.contains(&cx.rel) {
+        return;
+    }
+    let opens = token_hits(cx.lex, "span_open(", false);
+    if opens.is_empty() {
+        return;
+    }
+    let extents = fn_extents(cx.lex.masked.as_bytes());
+    for pos in opens {
+        // Innermost enclosing function body (extents are in source order,
+        // so the last match is the innermost for nested items).
+        let body = extents.iter().rev().find(|&&(s, e)| s <= pos && pos < e);
+        let balanced = body.is_some_and(|&(s, e)| {
+            let body = &cx.lex.masked[s..e];
+            ["span_close(", "span_close_bytes(", "span_drop("]
+                .iter()
+                .any(|close| body.contains(close))
+        });
+        if !balanced {
+            push(
+                cx,
+                out,
+                "span-balance",
+                pos,
+                "`span_open` with no `span_close`/`span_drop` in the same function \
+                 leaks an open span on the hot path; route cross-function pairs \
+                 through the kernel span helpers"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// Byte ranges of every `fn` body (`{`..`}`) in the masked text, in source
+/// order. Brace matching is done on the masked view, so braces inside
+/// strings and comments never unbalance it.
+fn fn_extents(hay: &[u8]) -> Vec<(usize, usize)> {
+    let mut extents = Vec::new();
+    let mut i = 0usize;
+    while i + 2 < hay.len() {
+        let standalone = hay[i] == b'f'
+            && hay[i + 1] == b'n'
+            && !is_ident(hay[i + 2])
+            && (i == 0 || !is_ident(hay[i - 1]));
+        if !standalone {
+            i += 1;
+            continue;
+        }
+        // Body opens at the first `{` after the signature; `;` first means
+        // a bodiless declaration (trait method, extern).
+        let mut j = i + 2;
+        while j < hay.len() && hay[j] != b'{' && hay[j] != b';' {
+            j += 1;
+        }
+        if j >= hay.len() || hay[j] == b';' {
+            i = j.max(i + 1);
+            continue;
+        }
+        let open = j;
+        let mut depth = 0usize;
+        while j < hay.len() {
+            match hay[j] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        extents.push((open, j.min(hay.len())));
+        i += 2;
+    }
+    extents
+}
+
+/// Rule 6: malformed pragmas and pragmas naming unknown rules. Not
 /// suppressible (a pragma cannot vouch for itself).
 fn bad_pragma(cx: &ScanCx<'_>, out: &mut Vec<Finding>) {
     for issue in &cx.lex.pragma_issues {
@@ -352,6 +442,9 @@ mod tests {
     #[test]
     fn metric_name_shapes() {
         assert!(valid_metric_name("tcp.segs_out"));
+        assert!(valid_metric_name("world.spans.opened"));
+        assert!(valid_metric_name("world.spans.mdma_rx.p99_ns"));
+        assert!(valid_metric_name("world.spans.{stage}.bytes"));
         assert!(valid_metric_name("host{i}.cab{j}.frames_tx"));
         assert!(valid_metric_name("channel.{ch}.frames_tx"));
         assert!(valid_metric_name("world"));

@@ -14,6 +14,8 @@
 //! * [`stats`] — counters, running means, histograms, and the least-squares
 //!   fit used to regenerate Table 2,
 //! * [`trace`] — a bounded in-memory event trace for debugging experiments,
+//! * [`span`] — per-packet causal tracing: bounded span timelines with
+//!   Chrome-trace/Perfetto export and critical-path attribution,
 //! * [`obs`] — the workspace-wide metrics registry (busy fractions, queue
 //!   high-water marks, netstat-style counters) behind every run report.
 
@@ -22,6 +24,7 @@
 pub mod obs;
 pub mod queue;
 pub mod rng;
+pub mod span;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -29,4 +32,5 @@ pub mod trace;
 pub use obs::{BusyTracker, Metric, MetricsRegistry};
 pub use queue::EventQueue;
 pub use rng::Pcg32;
+pub use span::{FlowId, Span, SpanSink, Stage};
 pub use time::{Dur, Time};

@@ -74,8 +74,9 @@ impl Gauge {
     }
 }
 
-/// A streaming summary of observed values (count / sum / min / max).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// A streaming summary of observed values (count / sum / min / max), with a
+/// fixed set of power-of-two buckets for deterministic quantile estimates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ValueHist {
     /// Values recorded.
     pub count: u64,
@@ -85,9 +86,32 @@ pub struct ValueHist {
     pub min: u64,
     /// Largest recorded value.
     pub max: u64,
+    /// Per-power-of-two bucket counts: bucket `i` holds values whose
+    /// floor(log2) is `i` (values 0 and 1 share bucket 0).
+    buckets: [u32; 64],
+}
+
+impl Default for ValueHist {
+    fn default() -> ValueHist {
+        ValueHist {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; 64],
+        }
+    }
 }
 
 impl ValueHist {
+    fn bucket_of(v: u64) -> usize {
+        if v <= 1 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        }
+    }
+
     /// Record one value.
     pub fn record(&mut self, v: u64) {
         if self.count == 0 {
@@ -99,6 +123,7 @@ impl ValueHist {
         }
         self.count += 1;
         self.sum += v;
+        self.buckets[Self::bucket_of(v)] += 1;
     }
 
     /// Mean of recorded values (0.0 when empty).
@@ -107,6 +132,51 @@ impl ValueHist {
             0.0
         } else {
             self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// A deterministic quantile estimate: the upper bound of the
+    /// power-of-two bucket holding the `q`-th ranked value, clamped to the
+    /// observed `[min, max]`. Exact when all values share a bucket;
+    /// within 2× otherwise. `q` is clamped to `[0, 1]`; returns 0 when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += u64::from(*n);
+            if seen >= rank {
+                let upper = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &ValueHist) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
         }
     }
 }

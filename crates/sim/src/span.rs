@@ -1,0 +1,837 @@
+//! Per-packet causal tracing: span timelines over virtual time.
+//!
+//! The metrics registry ([`crate::obs`]) aggregates counters; it cannot show
+//! *where a particular packet's time went* as it moves host memory → CAB
+//! network memory → wire → network memory → host. This module provides the
+//! missing flight recorder:
+//!
+//! * [`FlowId`] — a deterministic identity for a unit of transfer, derived
+//!   from the wire-visible 4-tuple (and, where known, the TCP sequence of
+//!   the segment), so the sender, the fabric, and the receiver all compute
+//!   the *same* id without any wire-format change;
+//! * [`Stage`] — the closed taxonomy of lifecycle stages (syscall entry,
+//!   kernel output, SDMA, checksum engine, MDMA, wire transit, demux,
+//!   socket-buffer dwell, …, plus fault detours);
+//! * [`SpanSink`] — a bounded, ring-buffered store of closed [`Span`]s with
+//!   open/close/drop conservation counters. Disabled sinks do nothing and
+//!   allocate nothing: the hot path stays on the allocation diet.
+//! * exporters — [`export_chrome_trace`] renders Chrome trace-event /
+//!   Perfetto JSON (one track per engine lane, flow arrows following a
+//!   [`FlowId`] across hosts), and [`critical_path`] attributes a flow's
+//!   end-to-end latency to stages exactly (the shares sum to the total).
+//!
+//! Determinism is a hard requirement: spans are stamped with virtual time
+//! and a per-sink emission sequence, merged with a stable sort, and all
+//! timestamps render as exact decimal nanoseconds — identical seeds produce
+//! byte-identical trace files.
+
+use crate::obs::ValueHist;
+use crate::time::Time;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+
+/// Number of distinct [`Stage`]s.
+pub const STAGE_COUNT: usize = 16;
+
+/// A lifecycle stage a traced unit of transfer passes through.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// `sys_write` entry: user data enters the kernel.
+    Syscall,
+    /// TCP/UDP output: a segment is materialized from the send queue.
+    KernelOutput,
+    /// SDMA copy-in: host (user) memory → CAB network memory.
+    Sdma,
+    /// The outboard checksum engine covering the data (runs with SDMA).
+    Checksum,
+    /// MDMA transmit: network memory → media.
+    MdmaTx,
+    /// Wire transit on the fabric (includes fault fates).
+    Wire,
+    /// MDMA receive: media → network memory (+ auto-DMA prefix to host).
+    MdmaRx,
+    /// Receive interrupt, IP input and transport demux.
+    Demux,
+    /// Data dwelling in the receiving socket buffer.
+    Sockbuf,
+    /// `sys_read` copy-out toward the user (blocking DMA window included).
+    SysRecv,
+    /// An ACK advancing the sender's window (causality link).
+    Ack,
+    /// A retransmitted segment (causality link to recovery).
+    Retransmit,
+    /// A transmission parked in the retry queue (backoff dwell).
+    RetryDwell,
+    /// The interface running degraded on the traditional path.
+    Degraded,
+    /// A watchdog board reset.
+    WatchdogReset,
+    /// A receive copy-out finished by programmed I/O after a DMA error.
+    PioFallback,
+}
+
+impl Stage {
+    /// Every stage, in taxonomy order.
+    pub const ALL: [Stage; STAGE_COUNT] = [
+        Stage::Syscall,
+        Stage::KernelOutput,
+        Stage::Sdma,
+        Stage::Checksum,
+        Stage::MdmaTx,
+        Stage::Wire,
+        Stage::MdmaRx,
+        Stage::Demux,
+        Stage::Sockbuf,
+        Stage::SysRecv,
+        Stage::Ack,
+        Stage::Retransmit,
+        Stage::RetryDwell,
+        Stage::Degraded,
+        Stage::WatchdogReset,
+        Stage::PioFallback,
+    ];
+
+    /// Stable index into per-stage arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The stage's stable name (used in trace files and metric names, so it
+    /// is part of the artifact format).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Syscall => "syscall",
+            Stage::KernelOutput => "kernel_output",
+            Stage::Sdma => "sdma",
+            Stage::Checksum => "checksum",
+            Stage::MdmaTx => "mdma_tx",
+            Stage::Wire => "wire",
+            Stage::MdmaRx => "mdma_rx",
+            Stage::Demux => "demux",
+            Stage::Sockbuf => "sockbuf",
+            Stage::SysRecv => "sys_recv",
+            Stage::Ack => "ack",
+            Stage::Retransmit => "retransmit",
+            Stage::RetryDwell => "retry_dwell",
+            Stage::Degraded => "degraded",
+            Stage::WatchdogReset => "watchdog_reset",
+            Stage::PioFallback => "pio_fallback",
+        }
+    }
+
+    /// The engine/CPU lane (Perfetto track) the stage renders on.
+    pub fn lane(self) -> &'static str {
+        match self {
+            Stage::Syscall => "app.syscall",
+            Stage::KernelOutput | Stage::Retransmit => "kern.output",
+            Stage::Sdma => "cab.sdma",
+            Stage::Checksum => "cab.csum",
+            Stage::MdmaTx => "cab.mdma_tx",
+            Stage::Wire => "fabric",
+            Stage::MdmaRx => "cab.mdma_rx",
+            Stage::Demux | Stage::Ack => "kern.input",
+            Stage::Sockbuf => "sock.rcv",
+            Stage::SysRecv => "app.recv",
+            Stage::RetryDwell | Stage::Degraded | Stage::WatchdogReset | Stage::PioFallback => {
+                "kern.detour"
+            }
+        }
+    }
+}
+
+/// Deterministic identity for a traced unit of transfer.
+///
+/// The high 32 bits are a hash of the wire-visible 4-tuple *in data
+/// direction* (source-of-data → destination-of-data), so every layer on
+/// either host computes the same group for one connection. The low 32 bits
+/// carry the TCP sequence of the specific segment where the emitting layer
+/// knows it, and zero where only the connection is known (socket-buffer
+/// dwell, ACK processing, reads).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub u64);
+
+impl FlowId {
+    /// The "no flow" id used by host-level detour spans.
+    pub const NONE: FlowId = FlowId(0);
+
+    /// Hash a data-direction 4-tuple into a flow group.
+    ///
+    /// FNV-1a over the octets; never returns zero (zero means "no flow").
+    pub fn group_of(src_ip: [u8; 4], src_port: u16, dst_ip: [u8; 4], dst_port: u16) -> u32 {
+        let mut h: u32 = 0x811c_9dc5;
+        let mut eat = |b: u8| {
+            h ^= u32::from(b);
+            h = h.wrapping_mul(0x0100_0193);
+        };
+        for b in src_ip {
+            eat(b);
+        }
+        eat((src_port >> 8) as u8);
+        eat(src_port as u8);
+        for b in dst_ip {
+            eat(b);
+        }
+        eat((dst_port >> 8) as u8);
+        eat(dst_port as u8);
+        if h == 0 {
+            1
+        } else {
+            h
+        }
+    }
+
+    /// A flow id for a specific segment of a group.
+    #[inline]
+    pub fn from_parts(group: u32, seq_lo: u32) -> FlowId {
+        FlowId((u64::from(group) << 32) | u64::from(seq_lo))
+    }
+
+    /// A group-level flow id (segment unknown).
+    #[inline]
+    pub fn group_only(group: u32) -> FlowId {
+        FlowId::from_parts(group, 0)
+    }
+
+    /// The connection-level group this flow belongs to.
+    #[inline]
+    pub fn group(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// The segment sequence (zero when only the group is known).
+    #[inline]
+    pub fn seq_lo(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// True for the "no flow" id.
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// One closed span: a stage a flow occupied over `[start, end]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// The traced unit this span belongs to.
+    pub flow: FlowId,
+    /// Which lifecycle stage.
+    pub stage: Stage,
+    /// Virtual time the stage began.
+    pub start: Time,
+    /// Virtual time the stage ended (`>= start`).
+    pub end: Time,
+    /// Bytes moved/held by the stage (0 where not meaningful).
+    pub bytes: u64,
+    /// True when the span ended by explicit drop (fault fate, run teardown)
+    /// rather than a normal close.
+    pub dropped: bool,
+    /// Per-sink emission sequence, for stable merge ordering.
+    pub seq: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct OpenSpan {
+    key: u64,
+    stage: Stage,
+    flow: FlowId,
+    start: Time,
+    bytes: u64,
+}
+
+/// A bounded, deterministic store of spans.
+///
+/// Disabled (the default) every method returns immediately without
+/// allocating. Enabled, closed spans land in a ring of fixed capacity
+/// (oldest evicted, counted); per-stage duration histograms and the
+/// open/close/drop conservation counters are fed on every emission, so the
+/// aggregate statistics stay complete even when the ring wraps.
+#[derive(Clone, Debug, Default)]
+pub struct SpanSink {
+    enabled: bool,
+    capacity: usize,
+    ring: VecDeque<Span>,
+    open: VecDeque<OpenSpan>,
+    seq: u64,
+    evicted: u64,
+    opened: u64,
+    closed: u64,
+    dropped: u64,
+    stage_ns: [ValueHist; STAGE_COUNT],
+    stage_bytes: [u64; STAGE_COUNT],
+}
+
+impl SpanSink {
+    /// A disabled sink (records nothing, allocates nothing).
+    pub fn disabled() -> SpanSink {
+        SpanSink::default()
+    }
+
+    /// An enabled sink holding at most `capacity` closed spans.
+    pub fn enabled(capacity: usize) -> SpanSink {
+        let mut s = SpanSink::default();
+        s.enable(capacity);
+        s
+    }
+
+    /// Enable recording with the given ring capacity.
+    pub fn enable(&mut self, capacity: usize) {
+        assert!(capacity > 0);
+        self.enabled = true;
+        self.capacity = capacity;
+    }
+
+    /// Whether the sink records anything. Callers doing non-trivial work to
+    /// *compute* a span (frame parsing, say) must guard on this.
+    #[inline]
+    pub fn on(&self) -> bool {
+        self.enabled
+    }
+
+    fn emit(&mut self, flow: FlowId, stage: Stage, start: Time, end: Time, bytes: u64, drop: bool) {
+        let i = stage.index();
+        self.stage_ns[i].record(end.since(start).as_nanos());
+        self.stage_bytes[i] += bytes;
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.evicted += 1;
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        self.ring.push_back(Span {
+            flow,
+            stage,
+            start,
+            end,
+            bytes,
+            dropped: drop,
+            seq,
+        });
+    }
+
+    /// Record a complete span in one call (open + close).
+    #[inline]
+    pub fn span(&mut self, flow: FlowId, stage: Stage, start: Time, end: Time, bytes: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.opened += 1;
+        self.closed += 1;
+        self.emit(flow, stage, start, end, bytes, false);
+    }
+
+    /// Open a span to be closed later by `key` + stage (FIFO per key).
+    pub fn span_open(&mut self, key: u64, flow: FlowId, stage: Stage, start: Time, bytes: u64) {
+        if !self.enabled {
+            return;
+        }
+        if self.open.len() == self.capacity {
+            // The open table is bounded like the ring: force-close the
+            // oldest entry as dropped rather than growing without limit.
+            if let Some(o) = self.open.pop_front() {
+                self.dropped += 1;
+                self.emit(o.flow, o.stage, o.start, start, o.bytes, true);
+            }
+        }
+        self.opened += 1;
+        self.open.push_back(OpenSpan {
+            key,
+            stage,
+            flow,
+            start,
+            bytes,
+        });
+    }
+
+    /// Close the oldest open span matching `key` + `stage`. Returns whether
+    /// a matching open existed.
+    pub fn span_close(&mut self, key: u64, stage: Stage, end: Time) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        let Some(pos) = self
+            .open
+            .iter()
+            .position(|o| o.key == key && o.stage == stage)
+        else {
+            return false;
+        };
+        let o = self.open.remove(pos).unwrap();
+        self.closed += 1;
+        self.emit(o.flow, o.stage, o.start, end, o.bytes, false);
+        true
+    }
+
+    /// Close open spans matching `key` + `stage` FIFO until `bytes` are
+    /// consumed; a partially consumed open is split (the consumed part is
+    /// emitted, the remainder stays open and counts as a fresh open).
+    pub fn span_close_bytes(&mut self, key: u64, stage: Stage, end: Time, mut bytes: u64) {
+        if !self.enabled {
+            return;
+        }
+        while bytes > 0 {
+            let Some(pos) = self
+                .open
+                .iter()
+                .position(|o| o.key == key && o.stage == stage)
+            else {
+                return;
+            };
+            if self.open[pos].bytes > bytes {
+                let o = self.open[pos];
+                self.open[pos].bytes -= bytes;
+                // The remainder is bookkept as a fresh open so the
+                // conservation identity opened == closed + dropped holds.
+                self.opened += 1;
+                self.closed += 1;
+                self.emit(o.flow, o.stage, o.start, end, bytes, false);
+                return;
+            }
+            let o = self.open.remove(pos).unwrap();
+            bytes -= o.bytes;
+            self.closed += 1;
+            self.emit(o.flow, o.stage, o.start, end, o.bytes, false);
+        }
+    }
+
+    /// Drop the oldest open span matching `key` + `stage` (fault fate).
+    pub fn span_drop(&mut self, key: u64, stage: Stage, end: Time) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        let Some(pos) = self
+            .open
+            .iter()
+            .position(|o| o.key == key && o.stage == stage)
+        else {
+            return false;
+        };
+        let o = self.open.remove(pos).unwrap();
+        self.dropped += 1;
+        self.emit(o.flow, o.stage, o.start, end, o.bytes, true);
+        true
+    }
+
+    /// Drop every still-open span (run teardown), stamping `end`.
+    pub fn drop_all_open(&mut self, end: Time) {
+        if !self.enabled {
+            return;
+        }
+        while let Some(o) = self.open.pop_front() {
+            self.dropped += 1;
+            self.emit(o.flow, o.stage, o.start, end.max(o.start), o.bytes, true);
+        }
+    }
+
+    /// Closed spans currently held, oldest first.
+    pub fn spans(&self) -> impl Iterator<Item = &Span> {
+        self.ring.iter()
+    }
+
+    /// Spans evicted from the ring due to capacity.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Spans opened (conservation: `opened() == closed() + dropped()` once
+    /// every open is resolved).
+    pub fn opened(&self) -> u64 {
+        self.opened
+    }
+
+    /// Spans closed normally.
+    pub fn closed(&self) -> u64 {
+        self.closed
+    }
+
+    /// Spans ended by explicit drop.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Spans still open.
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Per-stage duration histogram (nanoseconds), complete across
+    /// evictions.
+    pub fn stage_hist(&self, stage: Stage) -> &ValueHist {
+        &self.stage_ns[stage.index()]
+    }
+
+    /// Per-stage cumulative bytes.
+    pub fn stage_bytes(&self, stage: Stage) -> u64 {
+        self.stage_bytes[stage.index()]
+    }
+
+    /// Fold another sink's per-stage statistics and conservation counters
+    /// into this one (used by the world-level aggregation).
+    pub fn absorb_stats(&mut self, other: &SpanSink) {
+        for (mine, theirs) in self.stage_ns.iter_mut().zip(&other.stage_ns) {
+            mine.merge(theirs);
+        }
+        for (mine, theirs) in self.stage_bytes.iter_mut().zip(&other.stage_bytes) {
+            *mine += theirs;
+        }
+        self.opened += other.opened;
+        self.closed += other.closed;
+        self.dropped += other.dropped;
+        self.evicted += other.evicted;
+    }
+}
+
+/// Render one nanosecond timestamp as the trace-event microsecond field
+/// (exact decimal, no floating point: determinism).
+fn ts_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn push_event(out: &mut String, ph: char, pid: u32, tid: u32, ns: u64, name: &str, extra: &str) {
+    let _ = write!(
+        out,
+        "{{\"ph\":\"{ph}\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\"name\":\"{name}\"{extra}}}",
+        ts_us(ns)
+    );
+}
+
+/// Export a set of sinks as Chrome trace-event / Perfetto JSON.
+///
+/// `tracks` pairs each sink with a process id and a process name (one
+/// process per host, plus one for the fabric). Within a process, each
+/// engine lane gets its own thread track. Flow arrows (`s`/`t`/`f` events)
+/// follow each flow group across processes; `flow_limit` bounds how many
+/// groups get arrows (`None` = all), selected in order of first appearance.
+///
+/// The output is byte-deterministic for identical inputs.
+pub fn export_chrome_trace(
+    tracks: &[(u32, String, &SpanSink)],
+    flow_limit: Option<usize>,
+) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !out.is_empty() {
+            if first {
+                first = false;
+            } else {
+                out.push_str(",\n");
+            }
+        }
+    };
+
+    // Lane → tid assignment, deterministic per process: sorted lane names.
+    let mut tids: BTreeMap<(u32, &'static str), u32> = BTreeMap::new();
+    for (pid, pname, sink) in tracks {
+        let mut lanes: Vec<&'static str> = sink.spans().map(|s| s.stage.lane()).collect();
+        lanes.sort_unstable();
+        lanes.dedup();
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\"args\":{{\"name\":\"{pname}\"}}}}"
+        );
+        for (i, lane) in lanes.iter().enumerate() {
+            let tid = i as u32;
+            tids.insert((*pid, lane), tid);
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\"{lane}\"}}}}"
+            );
+        }
+    }
+
+    // Merge every span with a stable order: (start, pid, seq).
+    let mut all: Vec<(u32, &Span)> = Vec::new();
+    for (pid, _, sink) in tracks {
+        all.extend(sink.spans().map(|s| (*pid, s)));
+    }
+    all.sort_by_key(|(pid, s)| (s.start, *pid, s.seq));
+
+    for (pid, s) in &all {
+        let tid = tids[&(*pid, s.stage.lane())];
+        let dur = s.end.since(s.start).as_nanos();
+        sep(&mut out);
+        let extra = format!(
+            ",\"cat\":\"span\",\"dur\":{},\"args\":{{\"flow\":\"{:08x}\",\"seq_lo\":{},\"bytes\":{},\"fate\":\"{}\"}}",
+            ts_us(dur),
+            s.flow.group(),
+            s.flow.seq_lo(),
+            s.bytes,
+            if s.dropped { "dropped" } else { "ok" },
+        );
+        push_event(
+            &mut out,
+            'X',
+            *pid,
+            tid,
+            s.start.nanos(),
+            s.stage.name(),
+            &extra,
+        );
+    }
+
+    // Flow arrows, per group, in order of first appearance.
+    let mut groups: Vec<u32> = Vec::new();
+    for (_, s) in &all {
+        let g = s.flow.group();
+        if g != 0 && !groups.contains(&g) {
+            groups.push(g);
+        }
+    }
+    if let Some(limit) = flow_limit {
+        groups.truncate(limit);
+    }
+    for g in groups {
+        let chain: Vec<&(u32, &Span)> = all.iter().filter(|(_, s)| s.flow.group() == g).collect();
+        let n = chain.len();
+        if n < 2 {
+            continue;
+        }
+        for (i, (pid, s)) in chain.iter().enumerate() {
+            let tid = tids[&(*pid, s.stage.lane())];
+            let ph = if i == 0 {
+                's'
+            } else if i + 1 == n {
+                'f'
+            } else {
+                't'
+            };
+            sep(&mut out);
+            let bp = if ph == 'f' { ",\"bp\":\"e\"" } else { "" };
+            let extra = format!(",\"cat\":\"flow\",\"id\":\"{g:08x}\"{bp}");
+            push_event(&mut out, ph, *pid, tid, s.start.nanos(), "flow", &extra);
+        }
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+/// One stage's share of a flow's end-to-end latency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StageShare {
+    /// Stage name (`"idle"` for gaps no span covers).
+    pub stage: &'static str,
+    /// Nanoseconds attributed to the stage.
+    pub ns: u64,
+}
+
+/// A flow's end-to-end latency attributed to stages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// The flow group analyzed.
+    pub group: u32,
+    /// First span start.
+    pub start: Time,
+    /// Last span end.
+    pub end: Time,
+    /// End-to-end nanoseconds (`end - start`); the shares sum to exactly
+    /// this value.
+    pub total_ns: u64,
+    /// Per-stage attribution, largest first (ties break by name).
+    pub shares: Vec<StageShare>,
+}
+
+impl CriticalPath {
+    /// The stage holding the largest share.
+    pub fn dominant(&self) -> &'static str {
+        self.shares.first().map(|s| s.stage).unwrap_or("idle")
+    }
+
+    /// Human-readable attribution table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "critical path for flow {:08x}: {} ns end-to-end",
+            self.group, self.total_ns
+        );
+        for s in &self.shares {
+            let pct = if self.total_ns == 0 {
+                0.0
+            } else {
+                s.ns as f64 * 100.0 / self.total_ns as f64
+            };
+            let _ = writeln!(out, "  {:<16} {:>12} ns  {:>6.2}%", s.stage, s.ns, pct);
+        }
+        let _ = writeln!(out, "  dominant stage: {}", self.dominant());
+        out
+    }
+}
+
+/// Attribute a flow group's end-to-end latency to stages.
+///
+/// Boundary sweep: each instant between the group's first span start and
+/// last span end is attributed to the *most recently started* span active
+/// at that instant (latest start wins; ties break toward the span emitted
+/// last), or to `"idle"` when none covers it. Shares therefore sum to the
+/// end-to-end total exactly. Returns `None` when the group has no spans.
+pub fn critical_path<'a>(
+    spans: impl Iterator<Item = &'a Span>,
+    group: u32,
+) -> Option<CriticalPath> {
+    let mut flow: Vec<&Span> = spans.filter(|s| s.flow.group() == group).collect();
+    if flow.is_empty() {
+        return None;
+    }
+    flow.sort_by_key(|s| (s.start, s.seq));
+    let start = flow.iter().map(|s| s.start).min().unwrap();
+    let end = flow.iter().map(|s| s.end).max().unwrap();
+    let mut bounds: Vec<u64> = flow
+        .iter()
+        .flat_map(|s| [s.start.nanos(), s.end.nanos()])
+        .collect();
+    bounds.sort_unstable();
+    bounds.dedup();
+    let mut shares: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for w in bounds.windows(2) {
+        let (t0, t1) = (w[0], w[1]);
+        // Active spans cover [start, end) of the segment; the most recently
+        // started one owns it.
+        let owner = flow
+            .iter()
+            .filter(|s| s.start.nanos() <= t0 && s.end.nanos() >= t1 && s.start != s.end)
+            .max_by_key(|s| (s.start, s.seq))
+            .map(|s| s.stage.name())
+            .unwrap_or("idle");
+        *shares.entry(owner).or_insert(0) += t1 - t0;
+    }
+    let mut shares: Vec<StageShare> = shares
+        .into_iter()
+        .map(|(stage, ns)| StageShare { stage, ns })
+        .collect();
+    shares.sort_by(|a, b| b.ns.cmp(&a.ns).then(a.stage.cmp(b.stage)));
+    Some(CriticalPath {
+        group,
+        start,
+        end,
+        total_ns: end.since(start).as_nanos(),
+        shares,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> Time {
+        Time(us * 1_000)
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let mut s = SpanSink::disabled();
+        s.span(FlowId::NONE, Stage::Sdma, t(0), t(1), 10);
+        s.span_open(1, FlowId::NONE, Stage::Sockbuf, t(0), 10);
+        assert!(!s.on());
+        assert_eq!(s.spans().count(), 0);
+        assert_eq!((s.opened(), s.closed(), s.dropped()), (0, 0, 0));
+    }
+
+    #[test]
+    fn open_close_conservation() {
+        let mut s = SpanSink::enabled(16);
+        let f = FlowId::from_parts(7, 100);
+        s.span(f, Stage::Sdma, t(0), t(2), 64);
+        s.span_open(1, f, Stage::Sockbuf, t(2), 64);
+        assert!(s.span_close(1, Stage::Sockbuf, t(5)));
+        assert!(!s.span_close(1, Stage::Sockbuf, t(6)), "no double close");
+        s.span_open(2, f, Stage::SysRecv, t(5), 64);
+        assert!(s.span_drop(2, Stage::SysRecv, t(9)));
+        assert_eq!(s.opened(), s.closed() + s.dropped());
+        assert_eq!(s.open_count(), 0);
+        assert_eq!(s.spans().count(), 3);
+    }
+
+    #[test]
+    fn close_bytes_splits_fifo() {
+        let mut s = SpanSink::enabled(16);
+        let f = FlowId::group_only(9);
+        s.span_open(1, f, Stage::Sockbuf, t(0), 100);
+        s.span_open(1, f, Stage::Sockbuf, t(1), 50);
+        // Consume 120: the first open closes whole, the second splits.
+        s.span_close_bytes(1, Stage::Sockbuf, t(4), 120);
+        assert_eq!(s.open_count(), 1);
+        assert_eq!(s.opened(), s.closed() + s.dropped() + 1);
+        s.drop_all_open(t(5));
+        assert_eq!(s.opened(), s.closed() + s.dropped());
+        let bytes: Vec<u64> = s.spans().map(|x| x.bytes).collect();
+        assert_eq!(bytes, vec![100, 20, 30]);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_evictions() {
+        let mut s = SpanSink::enabled(4);
+        for i in 0..10u64 {
+            s.span(FlowId::NONE, Stage::Wire, t(i), t(i + 1), 1);
+        }
+        assert_eq!(s.spans().count(), 4);
+        assert_eq!(s.evicted(), 6);
+        // Stats stay complete across evictions.
+        assert_eq!(s.stage_hist(Stage::Wire).count, 10);
+        assert_eq!(s.stage_bytes(Stage::Wire), 10);
+    }
+
+    #[test]
+    fn export_is_deterministic_and_schema_shaped() {
+        let build = || {
+            let mut a = SpanSink::enabled(16);
+            let f = FlowId::from_parts(0xAB, 1);
+            a.span(f, Stage::Syscall, t(0), t(1), 64);
+            a.span(f, Stage::Sdma, t(1), t(3), 64);
+            let mut b = SpanSink::enabled(16);
+            b.span(f, Stage::Demux, t(4), t(5), 64);
+            export_chrome_trace(&[(1, "host0".into(), &a), (2, "host1".into(), &b)], None)
+        };
+        let x = build();
+        assert_eq!(x, build());
+        assert!(x.starts_with("{\"displayTimeUnit\":\"ns\""));
+        assert!(x.contains("\"ph\":\"X\""));
+        assert!(x.contains("\"ph\":\"M\""));
+        assert!(x.contains("\"ph\":\"s\"") && x.contains("\"ph\":\"f\""));
+        assert!(x.contains("\"name\":\"sdma\""));
+        assert!(x.contains("\"ts\":1.000"), "exact microsecond rendering");
+    }
+
+    #[test]
+    fn critical_path_sums_exactly() {
+        let mut s = SpanSink::enabled(16);
+        let f = FlowId::from_parts(5, 0);
+        s.span(f, Stage::Syscall, t(0), t(2), 0);
+        s.span(f, Stage::Sdma, t(2), t(6), 0);
+        // Overlap: checksum runs inside the SDMA window but starts later,
+        // so it owns its interval.
+        s.span(f, Stage::Checksum, t(3), t(5), 0);
+        // Gap 6..8, then the wire.
+        s.span(f, Stage::Wire, t(8), t(10), 0);
+        let cp = critical_path(s.spans(), 5).unwrap();
+        assert_eq!(cp.total_ns, 10_000);
+        let sum: u64 = cp.shares.iter().map(|x| x.ns).sum();
+        assert_eq!(sum, cp.total_ns);
+        let get = |n: &str| cp.shares.iter().find(|x| x.stage == n).map(|x| x.ns);
+        assert_eq!(get("syscall"), Some(2_000));
+        assert_eq!(get("sdma"), Some(2_000));
+        assert_eq!(get("checksum"), Some(2_000));
+        assert_eq!(get("idle"), Some(2_000));
+        assert_eq!(get("wire"), Some(2_000));
+        assert_eq!(cp.dominant(), "checksum", "ties break by name");
+    }
+
+    #[test]
+    fn flow_ids_are_stable_and_orientation_sensitive() {
+        let a = FlowId::group_of([10, 0, 0, 1], 5000, [10, 0, 0, 2], 7000);
+        let b = FlowId::group_of([10, 0, 0, 1], 5000, [10, 0, 0, 2], 7000);
+        let c = FlowId::group_of([10, 0, 0, 2], 7000, [10, 0, 0, 1], 5000);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "direction is part of the identity");
+        let f = FlowId::from_parts(a, 42);
+        assert_eq!(f.group(), a);
+        assert_eq!(f.seq_lo(), 42);
+        assert!(!f.is_none());
+        assert!(FlowId::NONE.is_none());
+    }
+}

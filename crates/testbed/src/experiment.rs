@@ -51,6 +51,17 @@ pub struct ExperimentConfig {
     pub verify: bool,
     /// Misalign the sender's buffer by this many bytes (§4.5 experiments).
     pub sender_misalign: u64,
+    /// Enable per-packet causal span tracing (off by default; traced runs
+    /// additionally publish `world.spans.*` and can export a timeline).
+    pub trace_spans: bool,
+    /// Span ring capacity per host (and for the fabric) when tracing.
+    pub trace_capacity: usize,
+    /// Cap on how many flows get Perfetto flow arrows (`None` = all).
+    pub trace_flows: Option<usize>,
+    /// Render the trace JSON and critical path after a traced run. Turning
+    /// this off measures the pure recording cost of enabled-but-unused
+    /// tracing (the perf harness's `trace_overhead` gate).
+    pub trace_export: bool,
 }
 
 impl ExperimentConfig {
@@ -73,6 +84,10 @@ impl ExperimentConfig {
             cab_csum_error_p: 0.0,
             verify: true,
             sender_misalign: 0,
+            trace_spans: false,
+            trace_capacity: 1 << 16,
+            trace_flows: Some(64),
+            trace_export: true,
         }
     }
 }
@@ -114,6 +129,10 @@ pub struct Metrics {
     /// Full metrics snapshot of the world at the end of the run (hosts,
     /// links, fabric totals) over the run's elapsed virtual time.
     pub stats: MetricsRegistry,
+    /// Chrome trace-event JSON of the run's spans (traced runs only).
+    pub trace_json: Option<String>,
+    /// Critical-path attribution for the busiest flow (traced runs only).
+    pub critical_path: Option<outboard_sim::span::CriticalPath>,
 }
 
 const SENDER_TASK: TaskId = TaskId(1);
@@ -173,6 +192,9 @@ pub fn build_ttcp_world(cfg: &ExperimentConfig) -> World {
     );
     tx.buf_vaddr += cfg.sender_misalign;
     w.add_app(a, Box::new(tx), true);
+    if cfg.trace_spans {
+        w.enable_span_tracing(cfg.trace_capacity);
+    }
     w
 }
 
@@ -219,14 +241,28 @@ pub fn run_ttcp(cfg: &ExperimentConfig) -> Metrics {
     let header_only = w.hosts[0].kernel.stats.retransmit_header_only;
     let hw_checksums = w.hosts[0].kernel.stats.hw_checksums;
     let sw_checksums = w.hosts[0].kernel.stats.sw_checksums;
+    // Eviction is surfaced in the registry (`world.trace.evicted`, always
+    // published) so it is visible from --stats artifacts, not just stderr.
     if w.hosts[0].kernel.trace.dropped() > 0 {
         eprintln!(
-            "warning: sender trace ring evicted {} events; counters in \
-             Metrics come from the registry and are unaffected",
+            "warning: sender trace ring evicted {} events (see \
+             world.trace.evicted in --stats); counters in Metrics come \
+             from the registry and are unaffected",
             w.hosts[0].kernel.trace.dropped()
         );
     }
+    // Close out in-flight spans before snapshotting so the conservation
+    // identity (opened == closed + dropped) holds in the registry.
+    let traced = w.span_tracing_on();
+    if traced {
+        w.finish_spans(w.now());
+    }
     let stats = w.metrics(elapsed);
+    let (trace_json, critical_path) = if traced && cfg.trace_export {
+        (Some(w.export_trace(cfg.trace_flows)), w.critical_path())
+    } else {
+        (None, None)
+    };
 
     Metrics {
         completed: done && bytes_read >= cfg.total_bytes,
@@ -253,6 +289,8 @@ pub fn run_ttcp(cfg: &ExperimentConfig) -> Metrics {
         sw_checksums,
         events_dispatched: w.events_dispatched,
         stats,
+        trace_json,
+        critical_path,
     }
 }
 

@@ -10,6 +10,7 @@ use bytes::Bytes;
 use outboard_cab::{CabEvent, PacketId};
 use outboard_host::{Charge, Cpu, HostMem, MachineConfig, TaskId};
 use outboard_netsim::{Capture, Framing, Link};
+use outboard_sim::span::{self, CriticalPath, Span, SpanSink, Stage};
 use outboard_sim::{Dur, EventQueue, MetricsRegistry, Time};
 use outboard_stack::{Effect, IfaceId, Kernel, SockId, StackConfig, TimerKind};
 use std::collections::BTreeMap;
@@ -158,6 +159,9 @@ pub struct World {
     /// Events dispatched by the engine (wall-clock work proxy for the
     /// perf harness's events/sec figure).
     pub events_dispatched: u64,
+    /// Wire-transit spans (one sink for the whole fabric; disabled by
+    /// default — see [`World::enable_span_tracing`]).
+    pub wire_spans: SpanSink,
 }
 
 impl World {
@@ -175,7 +179,84 @@ impl World {
             bytes_on_fabric: 0,
             capture: None,
             events_dispatched: 0,
+            wire_spans: SpanSink::disabled(),
         }
+    }
+
+    /// Turn on per-packet causal tracing: every host kernel plus the
+    /// fabric gets a bounded span ring of `capacity` entries. Call after
+    /// hosts are added; hosts added later stay untraced.
+    pub fn enable_span_tracing(&mut self, capacity: usize) {
+        self.wire_spans.enable(capacity);
+        for host in &mut self.hosts {
+            host.kernel.spans.enable(capacity);
+        }
+    }
+
+    /// True when span tracing is enabled anywhere in the world.
+    pub fn span_tracing_on(&self) -> bool {
+        self.wire_spans.on() || self.hosts.iter().any(|h| h.kernel.spans.on())
+    }
+
+    /// Force-close every span still open (run teardown): in-flight work at
+    /// the end of a run is recorded as dropped, keeping the conservation
+    /// identity `opened == closed + dropped` exact.
+    pub fn finish_spans(&mut self, now: Time) {
+        self.wire_spans.drop_all_open(now);
+        for host in &mut self.hosts {
+            host.kernel.spans.drop_all_open(now);
+        }
+    }
+
+    /// Every recorded span, merged across hosts and the fabric in stable
+    /// (start-time, track, emission) order.
+    pub fn merged_spans(&self) -> Vec<Span> {
+        let mut all: Vec<(u64, u32, u64, Span)> = Vec::new();
+        for (i, host) in self.hosts.iter().enumerate() {
+            for s in host.kernel.spans.spans() {
+                all.push((s.start.nanos(), i as u32, s.seq, *s));
+            }
+        }
+        let fabric_pid = self.hosts.len() as u32;
+        for s in self.wire_spans.spans() {
+            all.push((s.start.nanos(), fabric_pid, s.seq, *s));
+        }
+        all.sort_by_key(|(start, pid, seq, _)| (*start, *pid, *seq));
+        all.into_iter().map(|(_, _, _, s)| s).collect()
+    }
+
+    /// Export every recorded span as Chrome trace-event JSON (one process
+    /// per host plus one for the fabric). `flow_limit` bounds how many
+    /// flow groups get arrows.
+    pub fn export_trace(&self, flow_limit: Option<usize>) -> String {
+        let mut tracks: Vec<(u32, String, &SpanSink)> = Vec::new();
+        for (i, host) in self.hosts.iter().enumerate() {
+            tracks.push((i as u32, format!("host{i}"), &host.kernel.spans));
+        }
+        tracks.push((
+            self.hosts.len() as u32,
+            "fabric".to_string(),
+            &self.wire_spans,
+        ));
+        span::export_chrome_trace(&tracks, flow_limit)
+    }
+
+    /// Critical-path attribution for the busiest flow group (most spans;
+    /// ties break toward the smallest group id). None when no group has
+    /// at least two spans.
+    pub fn critical_path(&self) -> Option<CriticalPath> {
+        let spans = self.merged_spans();
+        let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+        for s in &spans {
+            if s.flow.group() != 0 {
+                *counts.entry(s.flow.group()).or_insert(0) += 1;
+            }
+        }
+        let group = counts
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .map(|(g, _)| *g)?;
+        span::critical_path(spans.iter(), group)
     }
 
     /// Current virtual time (the last dispatched event's timestamp).
@@ -224,6 +305,61 @@ impl World {
         w.counter("faults.corrupted", faults.corrupted);
         w.counter("faults.reordered", faults.reordered);
         w.counter("faults.duplicated", faults.duplicated);
+        // Mechanism-trace eviction is always surfaced (satellite of the
+        // bounded-ring fix): undercounting must be visible from artifacts,
+        // not just stderr.
+        let trace_evicted: u64 = self.hosts.iter().map(|h| h.kernel.trace.dropped()).sum();
+        w.counter("trace.evicted", trace_evicted);
+        // Span stats publish only while tracing is on, so untraced runs
+        // keep byte-identical registries (parallel-sweep gate).
+        if self.span_tracing_on() {
+            let mut agg = SpanSink::disabled();
+            for host in &self.hosts {
+                agg.absorb_stats(&host.kernel.spans);
+            }
+            agg.absorb_stats(&self.wire_spans);
+            let opened: u64 = self
+                .hosts
+                .iter()
+                .map(|h| h.kernel.spans.opened())
+                .sum::<u64>()
+                + self.wire_spans.opened();
+            let closed: u64 = self
+                .hosts
+                .iter()
+                .map(|h| h.kernel.spans.closed())
+                .sum::<u64>()
+                + self.wire_spans.closed();
+            let dropped: u64 = self
+                .hosts
+                .iter()
+                .map(|h| h.kernel.spans.dropped())
+                .sum::<u64>()
+                + self.wire_spans.dropped();
+            let evicted: u64 = self
+                .hosts
+                .iter()
+                .map(|h| h.kernel.spans.evicted())
+                .sum::<u64>()
+                + self.wire_spans.evicted();
+            let mut sp = w.sub("spans");
+            sp.counter("opened", opened);
+            sp.counter("closed", closed);
+            sp.counter("dropped", dropped);
+            sp.counter("evicted", evicted);
+            for stage in Stage::ALL {
+                let hist = agg.stage_hist(stage);
+                if hist.count == 0 {
+                    continue;
+                }
+                let mut ss = sp.sub(stage.name());
+                ss.hist("ns", hist);
+                ss.counter("p50_ns", hist.quantile(0.5));
+                ss.counter("p99_ns", hist.quantile(0.99));
+                ss.counter("max_ns", hist.max);
+                ss.counter("bytes", agg.stage_bytes(stage));
+            }
+        }
         reg
     }
 
@@ -562,7 +698,36 @@ impl World {
                 let Some(link) = self.links.get_mut(&(host, iface)) else {
                     return;
                 };
-                for d in link.transmit(frame, now) {
+                let (flow, frame_len) = if self.wire_spans.on() {
+                    let ip_off = if dst_addr != 0 {
+                        outboard_wire::hippi::HIPPI_HEADER_LEN
+                    } else {
+                        outboard_wire::ether::ETHER_HEADER_LEN
+                    };
+                    (
+                        outboard_stack::kernel::frame_flow(&frame, ip_off),
+                        frame.len() as u64,
+                    )
+                } else {
+                    (outboard_sim::span::FlowId::NONE, 0)
+                };
+                let deliveries = link.transmit(frame, now);
+                if self.wire_spans.on() {
+                    if deliveries.is_empty() {
+                        // The link's fault model ate the frame: an opened-
+                        // then-dropped span records the loss.
+                        let key = ((host as u64) << 32) | iface.0 as u64;
+                        self.wire_spans
+                            .span_open(key, flow, Stage::Wire, now, frame_len);
+                        self.wire_spans.span_drop(key, Stage::Wire, now);
+                    } else {
+                        for d in &deliveries {
+                            self.wire_spans
+                                .span(flow, Stage::Wire, now, d.at, frame_len);
+                        }
+                    }
+                }
+                for d in deliveries {
                     self.queue.push(
                         d.at,
                         Event::FrameArrive {
