@@ -1,0 +1,225 @@
+//! Deterministic chaos sweep: N seeded fault schedules against the ttcp
+//! testbed, each judged by the end-to-end oracle (stream integrity,
+//! conservation, liveness). Failing schedules are delta-debugged to a
+//! locally minimal repro and written out as `repro_<seed>.json`, replayable
+//! byte-identically with `--replay`.
+//!
+//! ```text
+//! chaos [--seeds N] [--start-seed S] [--events K] [--smoke] [--jobs J]
+//!       [--out DIR] [--plant-bug] [--replay FILE] [--stats]
+//! ```
+//!
+//! * `--seeds N`      schedules to sweep (default 32, smoke default 8)
+//! * `--start-seed S` first seed (default 1)
+//! * `--events K`     events per generated schedule (default 6)
+//! * `--smoke`        small transfers for CI
+//! * `--jobs J`       sweep worker threads (also `OUTBOARD_JOBS`)
+//! * `--out DIR`      where repro files go (default `.`)
+//! * `--plant-bug`    add a checksum-preserving corruption event to every
+//!   schedule — the oracle must catch it (exits 1)
+//! * `--replay FILE`  run one `repro_*.json` schedule and report
+//! * `--stats`        print the full metrics registry after a replay
+//!
+//! Exit status: 0 all seeds clean, 1 oracle violation, 2 usage error.
+
+use outboard_bench::sweep;
+use outboard_host::MachineConfig;
+use outboard_sim::chaos::{ChaosAction, ChaosEvent, ChaosSchedule};
+use outboard_sim::Dur;
+use outboard_stack::StackConfig;
+use outboard_testbed::chaos::{run_chaos, shrink_failure, DEFAULT_LIVENESS_BUDGET};
+use outboard_testbed::ExperimentConfig;
+
+fn arg_value(name: &str) -> Option<String> {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 0;
+    while i < argv.len() {
+        if let Some((flag, val)) = argv[i].split_once('=') {
+            if flag == name {
+                return Some(val.to_string());
+            }
+        } else if argv[i] == name {
+            return Some(argv.get(i + 1).cloned().unwrap_or_default());
+        }
+        i += 1;
+    }
+    None
+}
+
+fn flag_present(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn parse_num(name: &str, val: &str) -> u64 {
+    match val.parse::<u64>() {
+        Ok(n) => n,
+        Err(_) => {
+            eprintln!("{name} needs an unsigned integer, got {val:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn base_cfg(seed: u64, total: usize) -> ExperimentConfig {
+    let mut stack = StackConfig::single_copy();
+    stack.force_single_copy = true;
+    let mut cfg = ExperimentConfig::new(MachineConfig::alpha_3000_400(), stack, 64 * 1024);
+    cfg.total_bytes = total;
+    cfg.seed = seed;
+    cfg.verify = true; // the integrity oracle needs pattern verification
+    cfg
+}
+
+/// One seed's verdict, rendered in seed order after the sweep.
+struct SeedReport {
+    seed: u64,
+    line: String,
+    failed: bool,
+    repro_json: Option<String>,
+}
+
+fn sweep_seed(seed: u64, events: usize, total: usize, plant_bug: bool) -> SeedReport {
+    let cfg = base_cfg(seed, total);
+    let mut schedule = ChaosSchedule::generate(seed, events, 2);
+    if plant_bug {
+        // A corruption the checksum cannot see — exactly what the oracle
+        // exists to catch.
+        schedule.events.push(ChaosEvent {
+            at: Dur::millis(8),
+            action: ChaosAction::StealthCorrupt { host: 0 },
+        });
+        schedule.events.sort_by_key(|e| e.at);
+    }
+    let outcome = run_chaos(&cfg, &schedule, DEFAULT_LIVENESS_BUDGET);
+    if outcome.passed() {
+        return SeedReport {
+            seed,
+            line: format!(
+                "seed {seed:>5}  PASS  {} events applied, {} heals, {} deferred, {} in {}",
+                outcome.chaos.events_applied,
+                outcome.chaos.heals_applied,
+                outcome.chaos.deferred_events,
+                outcome.bytes_read,
+                outcome.elapsed,
+            ),
+            failed: false,
+            repro_json: None,
+        };
+    }
+    let first = outcome.violations[0].clone();
+    let (events_left, runs, repro_json) =
+        match shrink_failure(&cfg, &schedule, DEFAULT_LIVENESS_BUDGET) {
+            Some(r) => (r.schedule.events.len(), r.runs, Some(r.schedule.to_json())),
+            None => (schedule.events.len(), 0, Some(schedule.to_json())),
+        };
+    SeedReport {
+        seed,
+        line: format!(
+            "seed {seed:>5}  FAIL  {first}  (shrunk to {events_left} events in {runs} runs)"
+        ),
+        failed: true,
+        repro_json,
+    }
+}
+
+fn replay(path: &str, total: usize, stats: bool) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let schedule = match ChaosSchedule::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            return 2;
+        }
+    };
+    println!(
+        "replaying {path} (seed {}):\n{}",
+        schedule.seed,
+        schedule.render()
+    );
+    let cfg = base_cfg(schedule.seed, total);
+    let outcome = run_chaos(&cfg, &schedule, DEFAULT_LIVENESS_BUDGET);
+    if stats {
+        print!("{}", outcome.stats.report());
+    }
+    if outcome.passed() {
+        println!(
+            "PASS: {} bytes in {}, {} chaos events applied",
+            outcome.bytes_read, outcome.elapsed, outcome.chaos.events_applied
+        );
+        0
+    } else {
+        for v in &outcome.violations {
+            println!("VIOLATION: {v}");
+        }
+        1
+    }
+}
+
+fn main() {
+    let smoke = flag_present("--smoke");
+    let total = if smoke {
+        2 * 1024 * 1024
+    } else {
+        8 * 1024 * 1024
+    };
+
+    if let Some(path) = arg_value("--replay") {
+        std::process::exit(replay(&path, total, flag_present("--stats")));
+    }
+
+    let seeds = arg_value("--seeds")
+        .map(|v| parse_num("--seeds", &v))
+        .unwrap_or(if smoke { 8 } else { 32 });
+    let start = arg_value("--start-seed")
+        .map(|v| parse_num("--start-seed", &v))
+        .unwrap_or(1);
+    let events = arg_value("--events")
+        .map(|v| parse_num("--events", &v) as usize)
+        .unwrap_or(6);
+    let out_dir = arg_value("--out").unwrap_or_else(|| ".".to_string());
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create --out dir {out_dir}: {e}");
+        std::process::exit(2);
+    }
+    let plant_bug = flag_present("--plant-bug");
+
+    println!(
+        "== chaos sweep: {seeds} seeds from {start}, {events} events each, {} MB transfers{} ==",
+        total / (1024 * 1024),
+        if plant_bug { ", planted bug" } else { "" }
+    );
+
+    let seed_list: Vec<u64> = (start..start + seeds).collect();
+    let reports = sweep::run_sweep("chaos", &seed_list, |&seed| {
+        sweep_seed(seed, events, total, plant_bug)
+    });
+
+    let mut failures = 0u64;
+    for r in &reports {
+        println!("{}", r.line);
+        if r.failed {
+            failures += 1;
+            if let Some(json) = &r.repro_json {
+                let path = format!("{}/repro_{}.json", out_dir, r.seed);
+                match std::fs::write(&path, json) {
+                    Ok(()) => println!("          repro written to {path}"),
+                    Err(e) => eprintln!("          cannot write {path}: {e}"),
+                }
+            }
+        }
+    }
+    println!(
+        "{}/{} seeds clean",
+        reports.len() as u64 - failures,
+        reports.len()
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -817,6 +817,14 @@ impl Cab {
         self.netmem.read(id, off, dst)
     }
 
+    /// Is this outboard buffer still live? Packet ids are never reused, so
+    /// `false` means the buffer was freed (e.g. by a board reset) and any
+    /// descriptor still naming it is stale. The driver uses this to discard
+    /// receive interrupts that crossed a reset in flight.
+    pub fn packet_exists(&self, id: PacketId) -> bool {
+        self.netmem.get(id).is_some()
+    }
+
     /// SDMA engine busy time so far (for adaptor-utilization reporting).
     pub fn sdma_busy(&self) -> Dur {
         self.sdma.total_busy()

@@ -12,6 +12,7 @@
 //! so a transparent injector perturbs nothing.
 
 use outboard_sim::obs::Scope;
+use outboard_sim::rng::{check_probability, FaultConfigError};
 use outboard_sim::Pcg32;
 use std::collections::VecDeque;
 
@@ -88,12 +89,34 @@ impl FaultInjector {
 
     /// An injector with the given transfer-failure and allocation-failure
     /// probabilities.
-    pub fn flaky(seed: u64, dma_fail_p: f64, alloc_fail_p: f64) -> FaultInjector {
+    ///
+    /// Rejects probabilities outside `[0, 1]` — a misconfigured knob would
+    /// otherwise only trip a `debug_assert!` deep in the RNG, silently
+    /// misbehaving in release builds.
+    pub fn flaky(
+        seed: u64,
+        dma_fail_p: f64,
+        alloc_fail_p: f64,
+    ) -> Result<FaultInjector, FaultConfigError> {
+        check_probability("dma_fail_p", dma_fail_p)?;
+        check_probability("alloc_fail_p", alloc_fail_p)?;
         let mut f = FaultInjector::none(seed);
         f.sdma_fail_p = dma_fail_p;
         f.mdma_fail_p = dma_fail_p;
         f.alloc_fail_p = alloc_fail_p;
-        f
+        Ok(f)
+    }
+
+    /// Validate every probability knob currently configured on this injector
+    /// (the fields are public, so post-construction edits can still smuggle
+    /// in a bad value; callers that accept external config should re-check).
+    pub fn validate(&self) -> Result<(), FaultConfigError> {
+        check_probability("sdma_fail_p", self.sdma_fail_p)?;
+        check_probability("mdma_fail_p", self.mdma_fail_p)?;
+        check_probability("wedge_p", self.wedge_p)?;
+        check_probability("csum_error_p", self.csum_error_p)?;
+        check_probability("alloc_fail_p", self.alloc_fail_p)?;
+        Ok(())
     }
 
     /// Force the next `count` SDMA transfers to fail transiently.
@@ -260,7 +283,7 @@ mod tests {
 
     #[test]
     fn probabilities_roughly_honored() {
-        let mut f = FaultInjector::flaky(3, 0.25, 0.1);
+        let mut f = FaultInjector::flaky(3, 0.25, 0.1).unwrap();
         let mut sdma_fails = 0;
         let mut alloc_fails = 0;
         for _ in 0..10_000 {
@@ -281,9 +304,27 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_probabilities_are_rejected() {
+        assert_eq!(
+            FaultInjector::flaky(1, 1.01, 0.0).unwrap_err().knob,
+            "dma_fail_p"
+        );
+        assert_eq!(
+            FaultInjector::flaky(1, 0.0, -0.5).unwrap_err().knob,
+            "alloc_fail_p"
+        );
+        assert!(FaultInjector::flaky(1, f64::INFINITY, 0.0).is_err());
+        let mut f = FaultInjector::none(1);
+        f.wedge_p = 7.0;
+        assert_eq!(f.validate().unwrap_err().knob, "wedge_p");
+        f.wedge_p = 0.0;
+        assert!(f.validate().is_ok());
+    }
+
+    #[test]
     fn deterministic_stream() {
         let run = |seed| {
-            let mut f = FaultInjector::flaky(seed, 0.5, 0.5);
+            let mut f = FaultInjector::flaky(seed, 0.5, 0.5).unwrap();
             (0..64)
                 .map(|_| (f.sdma_fate().is_some(), f.alloc_fails()))
                 .collect::<Vec<_>>()

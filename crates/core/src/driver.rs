@@ -129,6 +129,11 @@ pub struct DriverFaultStats {
     pub pio_fallbacks: u64,
     /// Outboard bytes rescued into host mbufs during a watchdog reset.
     pub rescued_bytes: u64,
+    /// Out-of-band board crashes recovered (chaos `board_crash` events).
+    pub board_crashes: u64,
+    /// Receive interrupts discarded because a board reset freed the frame's
+    /// outboard buffer between arrival and interrupt delivery.
+    pub stale_rx_drops: u64,
 }
 
 /// Driver-level health state for one CAB interface: degraded-mode flag,
@@ -215,6 +220,8 @@ impl CabIface {
         s.counter("drv.abandoned_tx", d.abandoned_tx);
         s.counter("drv.pio_fallbacks", d.pio_fallbacks);
         s.counter("drv.rescued_bytes", d.rescued_bytes);
+        s.counter("drv.board_crashes", d.board_crashes);
+        s.counter("drv.stale_rx_drops", d.stale_rx_drops);
         s.counter("drv.degraded", u64::from(self.health.degraded));
         s.counter("drv.retry_queue_depth", self.retry_q.len() as u64);
     }

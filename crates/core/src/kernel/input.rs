@@ -121,6 +121,25 @@ impl Kernel {
         now: Time,
     ) -> Vec<Effect> {
         self.cpu(self.machine.cost_interrupt_us, Charge::Interrupt);
+        // A board reset between this frame's arrival and its interrupt frees
+        // the outboard buffer, but the interrupt (with its pre-reset hardware
+        // checksum) still lands. Trusting it would queue a descriptor whose
+        // checksum verifies against bytes that no longer exist — silent
+        // corruption at the application. The frame died with the reset:
+        // discard it here and let the transport retransmit.
+        if let Some(p) = packet {
+            let stale = self.with_cab(iface, |_k, cab| {
+                if cab.cab.packet_exists(p) {
+                    false
+                } else {
+                    cab.health.stats.stale_rx_drops += 1;
+                    true
+                }
+            });
+            if stale {
+                return self.take_effects();
+            }
+        }
         if autodma.len() < HIPPI_HEADER_LEN {
             self.stats.ip_errors += 1;
             return self.take_effects();

@@ -16,9 +16,35 @@ use crate::types::{Effect, IfaceId, SockId, TimerKind};
 use bytes::Bytes;
 use outboard_cab::{CabError, CabEvent, PacketId, SdmaDst, SdmaRx, SdmaTx};
 use outboard_host::{Charge, HostMem, UserMemory};
-use outboard_mbuf::{Mbuf, MbufData};
+use outboard_mbuf::{Chain, Mbuf, MbufData};
 use outboard_sim::span::Stage;
 use outboard_sim::{Dur, Time};
+
+/// Which buffer of a socket the watchdog rescue is walking: the send
+/// queue, the receive queue, or one TCP reassembly chain (by sequence).
+enum RescueChain {
+    Snd,
+    Rcv,
+    Reass(u32),
+}
+
+impl RescueChain {
+    fn chain<'a>(&self, s: &'a crate::socket::Socket) -> Option<&'a Chain> {
+        match self {
+            RescueChain::Snd => Some(&s.so_snd.chain),
+            RescueChain::Rcv => Some(&s.so_rcv.chain),
+            RescueChain::Reass(seq) => s.tcb.as_ref()?.reass_chain(*seq),
+        }
+    }
+
+    fn chain_mut<'a>(&self, s: &'a mut crate::socket::Socket) -> Option<&'a mut Chain> {
+        match self {
+            RescueChain::Snd => Some(&mut s.so_snd.chain),
+            RescueChain::Rcv => Some(&mut s.so_rcv.chain),
+            RescueChain::Reass(seq) => s.tcb.as_mut()?.reass_chain_mut(*seq),
+        }
+    }
+}
 
 impl Kernel {
     /// Backoff delay for the given retry round (base × 2^round).
@@ -382,6 +408,43 @@ impl Kernel {
         if !still_wedged {
             return;
         }
+        self.cab_reset_recover(iface_id, mem, now, "watchdog_reset");
+    }
+
+    /// The board crashed out of band (chaos `board_crash`): run the same
+    /// rescue-reset-degrade-rebuild sequence the watchdog uses, immediately
+    /// and unconditionally. The rescue step matters even for a dead board —
+    /// network memory stays host-addressable, so PIO-ing the socket-buffer
+    /// bytes out *before* the reset is what keeps the rebuilt segments
+    /// carrying real data instead of zeros under valid checksums.
+    pub fn cab_board_crash(
+        &mut self,
+        iface_id: IfaceId,
+        mem: &mut HostMem,
+        now: Time,
+    ) -> Vec<Effect> {
+        let idx = iface_id.0 as usize;
+        if self.ifaces.get_mut(idx).and_then(|i| i.cab()).is_none() {
+            return self.take_effects(); // not a CAB interface: nothing to crash
+        }
+        self.with_cab(iface_id, |_k, cab| {
+            cab.health.stats.board_crashes += 1;
+        });
+        self.cab_reset_recover(iface_id, mem, now, "board_crash");
+        self.take_effects()
+    }
+
+    /// Shared recovery sequence: PIO-rescue outboard socket-buffer bytes,
+    /// drop in-flight conversions and parked retries, reset the board,
+    /// enter degraded mode with a recovery probe, and rebuild transmit from
+    /// the socket send queues.
+    fn cab_reset_recover(
+        &mut self,
+        iface_id: IfaceId,
+        mem: &mut HostMem,
+        now: Time,
+        reason: &'static str,
+    ) {
         self.cpu(self.machine.cost_interrupt_us, Charge::Interrupt);
         self.span_detour(Stage::WatchdogReset, now, now, 0);
         // Parked transmissions die with the reset; their dwell is abandoned.
@@ -442,8 +505,8 @@ impl Kernel {
         self.trace.record(
             now,
             "cab.driver",
-            "watchdog_reset",
-            format!("iface {} engine wedged", iface_id.0),
+            reason,
+            format!("iface {} board reset", iface_id.0),
         );
         self.rebuild_transmit(affected, mem, now);
     }
@@ -451,19 +514,28 @@ impl Kernel {
     /// Replace this interface's outboard descriptors in `sock`'s buffers
     /// with host mbufs read out by programmed I/O. Returns whether anything
     /// was rescued.
+    ///
+    /// Covers the send queue, the receive queue, AND the TCP out-of-order
+    /// reassembly queue: reassembled chains are appended to `so_rcv` long
+    /// after their segment checksum was verified, so an outboard buffer
+    /// lost to a board reset would otherwise surface as silent zeros at
+    /// the application (found by chaos seed 9: receiver-side MDMA wedge
+    /// while a gap was queued).
     fn rescue_sock_buffers(&mut self, sock: SockId, iface_id: IfaceId) -> bool {
         let mut rescued = false;
-        for snd in [true, false] {
+        let mut targets = vec![RescueChain::Snd, RescueChain::Rcv];
+        if let Some(tcb) = self.sockets.get(&sock).and_then(|s| s.tcb.as_ref()) {
+            targets.extend(tcb.reass_keys().into_iter().map(RescueChain::Reass));
+        }
+        for which in targets {
             loop {
                 // Locate the first outboard descriptor of this interface.
                 let found = {
                     let Some(s) = self.sockets.get(&sock) else {
                         break;
                     };
-                    let chain = if snd {
-                        &s.so_snd.chain
-                    } else {
-                        &s.so_rcv.chain
+                    let Some(chain) = which.chain(s) else {
+                        break;
                     };
                     let mut off = 0usize;
                     let mut hit = None;
@@ -493,10 +565,8 @@ impl Kernel {
                 let Some(s) = self.sockets.get_mut(&sock) else {
                     break;
                 };
-                let chain = if snd {
-                    &mut s.so_snd.chain
-                } else {
-                    &mut s.so_rcv.chain
+                let Some(chain) = which.chain_mut(s) else {
+                    break;
                 };
                 let taken = std::mem::take(chain);
                 let (new_chain, _removed) =

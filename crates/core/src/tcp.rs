@@ -210,6 +210,24 @@ pub struct Tcb {
 const MAX_REASS_SEGS: usize = 64;
 
 impl Tcb {
+    /// Sequence keys of the out-of-order reassembly queue. The watchdog's
+    /// board-reset rescue walks these: reassembly chains can hold outboard
+    /// (`M_WCAB`) descriptors whose bytes die with the reset, and they are
+    /// delivered to the application later with no checksum left to object.
+    pub fn reass_keys(&self) -> Vec<u32> {
+        self.reass.keys().copied().collect()
+    }
+
+    /// The reassembly chain queued at sequence `seq`, if any.
+    pub fn reass_chain(&self, seq: u32) -> Option<&Chain> {
+        self.reass.get(&seq)
+    }
+
+    /// Mutable access to the reassembly chain queued at sequence `seq`.
+    pub fn reass_chain_mut(&mut self, seq: u32) -> Option<&mut Chain> {
+        self.reass.get_mut(&seq)
+    }
+
     /// A closed control block with initial send sequence `iss`.
     pub fn new(cfg: &StackConfig, iss: u32, nagle: bool) -> Tcb {
         Tcb {

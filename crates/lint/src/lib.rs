@@ -357,6 +357,20 @@ const FIXTURES: &[Fixture] = &[
         expect: 0,
     },
     Fixture {
+        name: "chaos metric namespace passes taxonomy",
+        rel: "crates/testbed/src/world.rs",
+        src: "fn f(w: &mut Scope) { let mut c = w.sub(\"chaos\"); c.counter(\"events_applied\", 1); c.counter(\"world.chaos.down_drops\", 1); }\n",
+        rule: "metrics-naming",
+        expect: 0,
+    },
+    Fixture {
+        name: "malformed chaos metric name fires",
+        rel: "crates/testbed/src/world.rs",
+        src: "fn f(w: &mut Scope) { w.counter(\"world.chaos.Bad-Kind\", 1); }\n",
+        rule: "metrics-naming",
+        expect: 1,
+    },
+    Fixture {
         name: "unbalanced span_open fires on hot path",
         rel: "crates/core/src/kernel/input.rs",
         src: "fn f(k: &mut K, now: Time) { k.spans.span_open(1, FlowId::NONE, Stage::Sockbuf, now, 0); }\n",

@@ -445,6 +445,8 @@ mod tests {
         assert!(valid_metric_name("world.spans.opened"));
         assert!(valid_metric_name("world.spans.mdma_rx.p99_ns"));
         assert!(valid_metric_name("world.spans.{stage}.bytes"));
+        assert!(valid_metric_name("world.chaos.events_applied"));
+        assert!(valid_metric_name("world.chaos.down_drops"));
         assert!(valid_metric_name("host{i}.cab{j}.frames_tx"));
         assert!(valid_metric_name("channel.{ch}.frames_tx"));
         assert!(valid_metric_name("world"));

@@ -11,6 +11,8 @@ use bytes::{Bytes, BytesMut};
 use outboard_sim::{Dur, Pcg32};
 use std::collections::VecDeque;
 
+pub use outboard_sim::rng::{check_probability, FaultConfigError};
+
 /// What happened to each frame, cumulatively.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FaultStats {
@@ -24,6 +26,8 @@ pub struct FaultStats {
     pub reordered: u64,
     /// Frames delivered twice.
     pub duplicated: u64,
+    /// Frames corrupted in a checksum-preserving way (test-only planted bug).
+    pub stealth_corrupted: u64,
 }
 
 /// The fate drawn for one frame.
@@ -51,6 +55,7 @@ enum ForcedFault {
     Corrupt,
     Reorder,
     Duplicate,
+    StealthCorrupt,
 }
 
 /// Configurable fault injector with a deterministic stream.
@@ -89,11 +94,32 @@ impl FaultInjector {
     }
 
     /// An injector with the given drop/corrupt probabilities.
-    pub fn lossy(seed: u64, drop_p: f64, corrupt_p: f64) -> FaultInjector {
+    ///
+    /// Rejects probabilities outside `[0, 1]` — a misconfigured knob would
+    /// otherwise only trip a `debug_assert!` deep in the RNG, silently
+    /// misbehaving in release builds.
+    pub fn lossy(
+        seed: u64,
+        drop_p: f64,
+        corrupt_p: f64,
+    ) -> Result<FaultInjector, FaultConfigError> {
+        check_probability("drop_p", drop_p)?;
+        check_probability("corrupt_p", corrupt_p)?;
         let mut f = FaultInjector::none(seed);
         f.drop_p = drop_p;
         f.corrupt_p = corrupt_p;
-        f
+        Ok(f)
+    }
+
+    /// Validate every probability knob currently configured on this injector
+    /// (the fields are public, so post-construction edits can still smuggle
+    /// in a bad value; callers that accept external config should re-check).
+    pub fn validate(&self) -> Result<(), FaultConfigError> {
+        check_probability("drop_p", self.drop_p)?;
+        check_probability("corrupt_p", self.corrupt_p)?;
+        check_probability("reorder_p", self.reorder_p)?;
+        check_probability("dup_p", self.dup_p)?;
+        Ok(())
     }
 
     /// Force the next frame(s) to be dropped regardless of probabilities.
@@ -118,6 +144,14 @@ impl FaultInjector {
         self.forced.push_back(ForcedFault::Duplicate);
     }
 
+    /// Force the next frame to be corrupted in a way that *preserves* the
+    /// Internet checksum (the chaos engine's planted bug — the corruption
+    /// must leak past the checksum layer so only an end-to-end oracle can
+    /// catch it).
+    pub fn force_stealth_corrupt_next(&mut self) {
+        self.forced.push_back(ForcedFault::StealthCorrupt);
+    }
+
     fn corrupt(&mut self, payload: &Bytes) -> Bytes {
         let mut buf = BytesMut::from(payload.as_ref());
         if !buf.is_empty() {
@@ -126,6 +160,49 @@ impl FaultInjector {
         }
         self.stats.corrupted += 1;
         buf.freeze()
+    }
+
+    /// Corrupt `payload` without changing its Internet checksum.
+    ///
+    /// The checksum is a ones'-complement sum of big-endian 16-bit words, so
+    /// flipping the same bit index in two bytes that sit at the same parity
+    /// (both high-lane or both low-lane, i.e. an even offset apart) — one
+    /// byte with the bit set, the other with it clear — shifts one word by
+    /// `+d` and the other by `-d`, leaving the sum exactly unchanged. The
+    /// search is restricted to the frame tail (past the link/IP/TCP headers)
+    /// so the flips land in application payload, not in header fields whose
+    /// semantics TCP would notice. If the payload has no such pair (e.g. a
+    /// constant fill), it is delivered untouched.
+    fn stealth_corrupt(&mut self, payload: &Bytes) -> Bytes {
+        const HEADER_SKIP: usize = 128;
+        if payload.len() < HEADER_SKIP + 4 {
+            return payload.clone();
+        }
+        let start = HEADER_SKIP;
+        let region = &payload[start..];
+        for bit in 0..8u8 {
+            for parity in 0..2usize {
+                let mut set_at = None;
+                let mut clear_at = None;
+                for (i, &b) in region.iter().enumerate().skip(parity).step_by(2) {
+                    if b & (1 << bit) != 0 {
+                        if set_at.is_none() {
+                            set_at = Some(i);
+                        }
+                    } else if clear_at.is_none() {
+                        clear_at = Some(i);
+                    }
+                    if let (Some(set), Some(clear)) = (set_at, clear_at) {
+                        let mut buf = BytesMut::from(payload.as_ref());
+                        buf[start + set] ^= 1 << bit;
+                        buf[start + clear] ^= 1 << bit;
+                        self.stats.stealth_corrupted += 1;
+                        return buf.freeze();
+                    }
+                }
+            }
+        }
+        payload.clone()
     }
 
     /// Draw the fate of one frame.
@@ -158,6 +235,11 @@ impl FaultInjector {
                         duplicate: true,
                     }
                 }
+                ForcedFault::StealthCorrupt => Fate::Deliver {
+                    payload: self.stealth_corrupt(&payload),
+                    extra_delay: Dur::ZERO,
+                    duplicate: false,
+                },
             };
         }
         if self.drop_p > 0.0 && self.rng.chance(self.drop_p) {
@@ -213,7 +295,7 @@ mod tests {
 
     #[test]
     fn drop_probability_is_roughly_honored() {
-        let mut f = FaultInjector::lossy(2, 0.3, 0.0);
+        let mut f = FaultInjector::lossy(2, 0.3, 0.0).unwrap();
         for _ in 0..10_000 {
             f.fate(Bytes::from_static(b"x"));
         }
@@ -223,7 +305,7 @@ mod tests {
 
     #[test]
     fn corruption_flips_exactly_one_bit() {
-        let mut f = FaultInjector::lossy(3, 0.0, 1.0);
+        let mut f = FaultInjector::lossy(3, 0.0, 1.0).unwrap();
         let data = Bytes::from(vec![0u8; 64]);
         match f.fate(data.clone()) {
             Fate::Deliver { payload, .. } => {
@@ -323,9 +405,101 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_probabilities_are_rejected() {
+        assert_eq!(
+            FaultInjector::lossy(1, 1.5, 0.0).unwrap_err(),
+            FaultConfigError {
+                knob: "drop_p",
+                value: 1.5
+            }
+        );
+        assert_eq!(
+            FaultInjector::lossy(1, 0.0, -0.1).unwrap_err(),
+            FaultConfigError {
+                knob: "corrupt_p",
+                value: -0.1
+            }
+        );
+        assert!(FaultInjector::lossy(1, 0.0, f64::NAN).is_err());
+        let mut f = FaultInjector::none(1);
+        f.reorder_p = 2.0;
+        assert_eq!(f.validate().unwrap_err().knob, "reorder_p");
+        f.reorder_p = 1.0;
+        assert!(f.validate().is_ok());
+    }
+
+    /// The folded ones'-complement sum over the whole buffer — any checksum
+    /// computed over any even-offset-aligned sub-range shifts by the same
+    /// amount under the stealth flip, so preserving this global sum (plus
+    /// both lane sums) proves the real TCP checksum is preserved.
+    fn ones_sum(buf: &[u8]) -> u32 {
+        let mut sum = 0u32;
+        let mut i = 0;
+        while i < buf.len() {
+            let hi = buf[i] as u32;
+            let lo = if i + 1 < buf.len() {
+                buf[i + 1] as u32
+            } else {
+                0
+            };
+            sum += (hi << 8) | lo;
+            i += 2;
+        }
+        while sum >> 16 != 0 {
+            sum = (sum & 0xffff) + (sum >> 16);
+        }
+        sum
+    }
+
+    #[test]
+    fn stealth_corruption_changes_bytes_but_not_checksum() {
+        let mut f = FaultInjector::none(9);
+        f.force_stealth_corrupt_next();
+        // A varied payload like real application data.
+        let data: Bytes = (0..1024u32)
+            .map(|i| i.wrapping_mul(2654435761).to_le_bytes()[0])
+            .collect::<Vec<u8>>()
+            .into();
+        match f.fate(data.clone()) {
+            Fate::Deliver { payload, .. } => {
+                assert_ne!(payload, data, "payload must actually change");
+                let diff: usize = payload
+                    .iter()
+                    .zip(data.iter())
+                    .filter(|(a, b)| a != b)
+                    .count();
+                assert_eq!(diff, 2, "exactly two bytes flipped");
+                assert_eq!(ones_sum(&payload), ones_sum(&data), "checksum must survive");
+                // Both lane sums individually, so any 16-bit alignment works.
+                let lane = |buf: &[u8], p: usize| -> u64 {
+                    buf.iter().skip(p).step_by(2).map(|&b| b as u64).sum()
+                };
+                assert_eq!(lane(&payload, 0), lane(&data, 0));
+                assert_eq!(lane(&payload, 1), lane(&data, 1));
+                // The header region is untouched.
+                assert_eq!(&payload[..128], &data[..128]);
+            }
+            Fate::Drop => panic!(),
+        }
+        assert_eq!(f.stats.stealth_corrupted, 1);
+    }
+
+    #[test]
+    fn stealth_corruption_leaves_uncorruptible_payloads_alone() {
+        let mut f = FaultInjector::none(10);
+        f.force_stealth_corrupt_next();
+        let data = Bytes::from(vec![0u8; 512]); // constant fill: no set/clear pair
+        match f.fate(data.clone()) {
+            Fate::Deliver { payload, .. } => assert_eq!(payload, data),
+            Fate::Drop => panic!(),
+        }
+        assert_eq!(f.stats.stealth_corrupted, 0);
+    }
+
+    #[test]
     fn deterministic_stream() {
         let run = |seed| {
-            let mut f = FaultInjector::lossy(seed, 0.5, 0.0);
+            let mut f = FaultInjector::lossy(seed, 0.5, 0.0).unwrap();
             (0..64)
                 .map(|_| matches!(f.fate(Bytes::from_static(b"p")), Fate::Drop))
                 .collect::<Vec<_>>()

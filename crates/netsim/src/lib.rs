@@ -15,7 +15,7 @@ pub mod fault;
 pub mod link;
 
 pub use capture::{Capture, CapturedFrame, Framing};
-pub use fault::{Fate, FaultInjector, FaultStats};
+pub use fault::{Fate, FaultConfigError, FaultInjector, FaultStats};
 pub use link::{Delivery, Link};
 
 use bytes::Bytes;

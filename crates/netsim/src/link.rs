@@ -27,6 +27,13 @@ pub struct Link {
     /// Propagation latency.
     pub latency: Dur,
     busy_until: Time,
+    /// Administrative state: a down link drops every frame on the floor
+    /// (chaos outage windows and full partitions).
+    pub up: bool,
+    /// Additional propagation latency while a chaos delay spike is active.
+    pub extra_latency: Dur,
+    /// Frames offered while the link was down.
+    pub down_drops: u64,
     /// Fault injection applied to every frame.
     pub faults: FaultInjector,
     /// Frames offered to this link.
@@ -46,6 +53,9 @@ impl Link {
             bandwidth_bps: None,
             latency,
             busy_until: Time::ZERO,
+            up: true,
+            extra_latency: Dur::ZERO,
+            down_drops: 0,
             faults: FaultInjector::none(seed),
             frames_in: 0,
             bytes_in: 0,
@@ -60,6 +70,9 @@ impl Link {
             bandwidth_bps: Some(bandwidth_bps),
             latency,
             busy_until: Time::ZERO,
+            up: true,
+            extra_latency: Dur::ZERO,
+            down_drops: 0,
             faults: FaultInjector::none(seed),
             frames_in: 0,
             bytes_in: 0,
@@ -73,6 +86,12 @@ impl Link {
     pub fn transmit(&mut self, payload: Bytes, now: Time) -> Vec<Delivery> {
         self.frames_in += 1;
         self.bytes_in += payload.len() as u64;
+        if !self.up {
+            // A down link never presents the frame to the fault injector, so
+            // the probabilistic fault stream is unaffected by outage windows.
+            self.down_drops += 1;
+            return Vec::new();
+        }
         let fate = self.faults.fate(payload);
         let Fate::Deliver {
             payload,
@@ -91,7 +110,7 @@ impl Link {
             }
             None => now,
         };
-        let at = serialized_at + self.latency + extra_delay;
+        let at = serialized_at + self.latency + self.extra_latency + extra_delay;
         self.frames_delivered += 1;
         self.bytes_delivered += payload.len() as u64;
         let mut out = vec![Delivery {
@@ -115,12 +134,14 @@ impl Link {
         s.counter("bytes_in", self.bytes_in);
         s.counter("frames_delivered", self.frames_delivered);
         s.counter("bytes_delivered", self.bytes_delivered);
+        s.counter("down_drops", self.down_drops);
         let f = &self.faults.stats;
         s.counter("faults.offered", f.offered);
         s.counter("faults.dropped", f.dropped);
         s.counter("faults.corrupted", f.corrupted);
         s.counter("faults.reordered", f.reordered);
         s.counter("faults.duplicated", f.duplicated);
+        s.counter("faults.stealth_corrupted", f.stealth_corrupted);
     }
 }
 
@@ -172,6 +193,30 @@ mod tests {
         assert_eq!(l.frames_delivered, 2);
         assert_eq!(l.bytes_delivered, 300);
         assert_eq!(l.bytes_in, 300);
+    }
+
+    #[test]
+    fn down_link_drops_without_touching_fault_stream() {
+        let mut l = Link::hippi(Dur::ZERO, 7);
+        l.up = false;
+        assert!(l.transmit(Bytes::from_static(b"x"), Time::ZERO).is_empty());
+        assert_eq!(l.down_drops, 1);
+        assert_eq!(l.frames_in, 1);
+        assert_eq!(l.faults.stats.offered, 0, "injector never sees the frame");
+        l.up = true;
+        assert_eq!(l.transmit(Bytes::from_static(b"y"), Time::ZERO).len(), 1);
+        assert_eq!(l.faults.stats.offered, 1);
+    }
+
+    #[test]
+    fn extra_latency_delays_deliveries() {
+        let mut l = Link::hippi(Dur::micros(10), 8);
+        l.extra_latency = Dur::micros(500);
+        let d = l.transmit(Bytes::from_static(b"x"), Time(1_000));
+        assert_eq!(d[0].at, Time(1_000) + Dur::micros(510));
+        l.extra_latency = Dur::ZERO;
+        let d = l.transmit(Bytes::from_static(b"x"), Time(2_000));
+        assert_eq!(d[0].at, Time(2_000) + Dur::micros(10));
     }
 
     #[test]

@@ -17,10 +17,13 @@
 //! * [`span`] — per-packet causal tracing: bounded span timelines with
 //!   Chrome-trace/Perfetto export and critical-path attribution,
 //! * [`obs`] — the workspace-wide metrics registry (busy fractions, queue
-//!   high-water marks, netstat-style counters) behind every run report.
+//!   high-water marks, netstat-style counters) behind every run report,
+//! * [`chaos`] — deterministic, replayable fault schedules with a
+//!   delta-debugging shrinker for minimal failure repros.
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod obs;
 pub mod queue;
 pub mod rng;
@@ -29,8 +32,9 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use chaos::{ChaosAction, ChaosEvent, ChaosSchedule};
 pub use obs::{BusyTracker, Metric, MetricsRegistry};
 pub use queue::EventQueue;
-pub use rng::Pcg32;
+pub use rng::{check_probability, FaultConfigError, Pcg32};
 pub use span::{FlowId, Span, SpanSink, Stage};
 pub use time::{Dur, Time};

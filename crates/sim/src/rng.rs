@@ -4,6 +4,39 @@
 //! stream is fixed by this file, so experiment results never shift under us
 //! when an external RNG crate revs its algorithm.
 
+/// A probability knob was configured outside `[0, 1]` (or was not a finite
+/// number). [`Pcg32::chance`] only `debug_assert!`s its argument, so release
+/// builds would silently misdraw; fault-injection constructors validate with
+/// [`check_probability`] and surface this typed error instead.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultConfigError {
+    /// Name of the offending knob (e.g. `"drop_p"`).
+    pub knob: &'static str,
+    /// The rejected value.
+    pub value: f64,
+}
+
+impl std::fmt::Display for FaultConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fault probability {} = {} is outside [0, 1]",
+            self.knob, self.value
+        )
+    }
+}
+
+impl std::error::Error for FaultConfigError {}
+
+/// Check that one probability knob is a finite value in `[0, 1]`.
+pub fn check_probability(knob: &'static str, value: f64) -> Result<(), FaultConfigError> {
+    if value.is_finite() && (0.0..=1.0).contains(&value) {
+        Ok(())
+    } else {
+        Err(FaultConfigError { knob, value })
+    }
+}
+
 /// A PCG-XSH-RR 64/32 generator.
 #[derive(Clone, Debug)]
 pub struct Pcg32 {

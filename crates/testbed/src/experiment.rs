@@ -90,6 +90,25 @@ impl ExperimentConfig {
             trace_export: true,
         }
     }
+
+    /// Validate every fault-probability knob (finite, in `[0, 1]`).
+    ///
+    /// `build_ttcp_world` calls this and refuses to build a world from a
+    /// nonsense config; CLI front-ends call it directly to report the typed
+    /// error instead of crashing mid-run.
+    pub fn validate(&self) -> Result<(), outboard_sim::FaultConfigError> {
+        use outboard_sim::check_probability as chk;
+        chk("drop_p", self.drop_p)?;
+        chk("corrupt_p", self.corrupt_p)?;
+        chk("reorder_p", self.reorder_p)?;
+        chk("dup_p", self.dup_p)?;
+        chk("cab_alloc_fail_p", self.cab_alloc_fail_p)?;
+        chk("cab_sdma_fail_p", self.cab_sdma_fail_p)?;
+        chk("cab_mdma_fail_p", self.cab_mdma_fail_p)?;
+        chk("cab_wedge_p", self.cab_wedge_p)?;
+        chk("cab_csum_error_p", self.cab_csum_error_p)?;
+        Ok(())
+    }
 }
 
 /// Results of one run.
@@ -146,6 +165,9 @@ pub const RECEIVER_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
 
 /// Build the standard two-host CAB world for a ttcp experiment.
 pub fn build_ttcp_world(cfg: &ExperimentConfig) -> World {
+    if let Err(e) = cfg.validate() {
+        panic!("invalid ExperimentConfig: {e}");
+    }
     let mut w = World::new();
     let a = w.add_host("sender", cfg.machine.clone(), cfg.stack.clone());
     let b = w.add_host("receiver", cfg.machine.clone(), cfg.stack.clone());

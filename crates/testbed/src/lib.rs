@@ -15,8 +15,11 @@
 
 pub mod analysis;
 pub mod apps;
+pub mod chaos;
 pub mod experiment;
+pub mod oracle;
 pub mod world;
 
+pub use chaos::{run_chaos, shrink_failure, ChaosOutcome, DEFAULT_LIVENESS_BUDGET};
 pub use experiment::{raw_hippi_throughput, run_ttcp, ExperimentConfig, Metrics};
-pub use world::{App, Step, SysCtx, World};
+pub use world::{App, ChaosStats, Step, SysCtx, World};

@@ -10,6 +10,7 @@ use bytes::Bytes;
 use outboard_cab::{CabEvent, PacketId};
 use outboard_host::{Charge, Cpu, HostMem, MachineConfig, TaskId};
 use outboard_netsim::{Capture, Framing, Link};
+use outboard_sim::chaos::{ChaosAction, ChaosSchedule};
 use outboard_sim::span::{self, CriticalPath, Span, SpanSink, Stage};
 use outboard_sim::{Dur, EventQueue, MetricsRegistry, Time};
 use outboard_stack::{Effect, IfaceId, Kernel, SockId, StackConfig, TimerKind};
@@ -56,6 +57,8 @@ pub enum Event {
     },
     /// TCP timer.
     Timer { host: usize, kind: TimerKind },
+    /// A scheduled chaos action fires (`heal` closes a durable window).
+    Chaos { idx: usize, heal: bool },
 }
 
 /// Application step outcome.
@@ -134,6 +137,48 @@ impl Host {
     }
 }
 
+/// Cumulative chaos-injection counters, published as `world.chaos.*` when a
+/// schedule is installed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChaosStats {
+    /// Fault actions applied (window openings and one-shots).
+    pub events_applied: u64,
+    /// Durable windows closed (links back up, squeezes released, ...).
+    pub heals_applied: u64,
+    /// `link_down` windows opened.
+    pub link_downs: u64,
+    /// Full partitions opened.
+    pub partitions: u64,
+    /// Delay spikes opened.
+    pub delay_spikes: u64,
+    /// CAB engine wedges injected.
+    pub cab_wedges: u64,
+    /// CAB board crashes injected.
+    pub board_crashes: u64,
+    /// Netmem squeezes opened.
+    pub netmem_squeezes: u64,
+    /// Host pauses opened.
+    pub host_pauses: u64,
+    /// Stealth (checksum-preserving) corruptions armed.
+    pub stealth_corrupts: u64,
+    /// Events re-queued because their host was paused.
+    pub deferred_events: u64,
+}
+
+/// Installed chaos schedule plus its runtime bookkeeping.
+struct ChaosState {
+    schedule: ChaosSchedule,
+    stats: ChaosStats,
+    /// Absolute time by which every durable window has closed.
+    quiesce: Time,
+    /// Active down-window count per link (overlapping outages stack).
+    down_count: BTreeMap<(usize, IfaceId), u32>,
+    /// Active squeeze-window count per host.
+    squeeze_depth: BTreeMap<usize, u32>,
+    /// CPU-side events of these hosts are deferred until the given time.
+    paused_until: BTreeMap<usize, Time>,
+}
+
 /// The whole simulated system.
 pub struct World {
     /// All simulated hosts.
@@ -162,6 +207,8 @@ pub struct World {
     /// Wire-transit spans (one sink for the whole fabric; disabled by
     /// default — see [`World::enable_span_tracing`]).
     pub wire_spans: SpanSink,
+    /// Installed chaos schedule (None for fault-free / knob-only runs).
+    chaos: Option<ChaosState>,
 }
 
 impl World {
@@ -180,6 +227,218 @@ impl World {
             capture: None,
             events_dispatched: 0,
             wire_spans: SpanSink::disabled(),
+            chaos: None,
+        }
+    }
+
+    /// Install a chaos schedule: every event (and, for durable actions, its
+    /// heal) is pushed onto the sim-time event queue relative to the current
+    /// virtual time. Injection is therefore part of the deterministic event
+    /// stream — the same seed replays byte-identically. Call once, before
+    /// running.
+    pub fn install_chaos(&mut self, schedule: &ChaosSchedule) {
+        let base = self.queue.now();
+        for (idx, ev) in schedule.events.iter().enumerate() {
+            self.queue
+                .push(base + ev.at, Event::Chaos { idx, heal: false });
+            if let Some(d) = ev.action.duration() {
+                self.queue
+                    .push(base + ev.at + d, Event::Chaos { idx, heal: true });
+            }
+        }
+        self.chaos = Some(ChaosState {
+            quiesce: base + schedule.quiesce_at(),
+            schedule: schedule.clone(),
+            stats: ChaosStats::default(),
+            down_count: BTreeMap::new(),
+            squeeze_depth: BTreeMap::new(),
+            paused_until: BTreeMap::new(),
+        });
+    }
+
+    /// True when a chaos schedule has been installed.
+    pub fn chaos_installed(&self) -> bool {
+        self.chaos.is_some()
+    }
+
+    /// Absolute time by which every durable chaos window has closed (the
+    /// liveness oracle only counts stalls after this point). None without
+    /// an installed schedule.
+    pub fn chaos_quiesce_at(&self) -> Option<Time> {
+        self.chaos.as_ref().map(|c| c.quiesce)
+    }
+
+    /// Snapshot of the chaos-injection counters.
+    pub fn chaos_stats(&self) -> Option<ChaosStats> {
+        self.chaos.as_ref().map(|c| c.stats)
+    }
+
+    /// The host whose pause state gates this event, if any. Fabric-side
+    /// events (`FabricTx`: the frame already left the adaptor) and chaos
+    /// injections themselves run even while the host is paused.
+    fn cpu_host_of(ev: &Event) -> Option<usize> {
+        match ev {
+            Event::AppStep { host, .. }
+            | Event::KernelReady { host, .. }
+            | Event::SdmaDone { host, .. }
+            | Event::RxInterrupt { host, .. }
+            | Event::FrameArrive { host, .. }
+            | Event::Timer { host, .. } => Some(*host),
+            Event::FabricTx { .. } | Event::Chaos { .. } => None,
+        }
+    }
+
+    /// Apply one chaos action (or heal its window).
+    fn apply_chaos(&mut self, idx: usize, heal: bool, now: Time) {
+        let Some(action) = self
+            .chaos
+            .as_ref()
+            .and_then(|c| c.schedule.events.get(idx))
+            .map(|e| e.action)
+        else {
+            return;
+        };
+        if let Some(ch) = self.chaos.as_mut() {
+            if heal {
+                ch.stats.heals_applied += 1;
+            } else {
+                ch.stats.events_applied += 1;
+                match action {
+                    ChaosAction::LinkDown { .. } => ch.stats.link_downs += 1,
+                    ChaosAction::Partition { .. } => ch.stats.partitions += 1,
+                    ChaosAction::DelaySpike { .. } => ch.stats.delay_spikes += 1,
+                    ChaosAction::CabWedge { .. } => ch.stats.cab_wedges += 1,
+                    ChaosAction::BoardCrash { .. } => ch.stats.board_crashes += 1,
+                    ChaosAction::NetmemSqueeze { .. } => ch.stats.netmem_squeezes += 1,
+                    ChaosAction::HostPause { .. } => ch.stats.host_pauses += 1,
+                    ChaosAction::StealthCorrupt { .. } => ch.stats.stealth_corrupts += 1,
+                }
+            }
+        }
+        match action {
+            ChaosAction::LinkDown { host, .. } => self.chaos_set_links(Some(host), heal),
+            ChaosAction::Partition { .. } => self.chaos_set_links(None, heal),
+            ChaosAction::DelaySpike { host, extra, .. } => {
+                for (key, link) in self.links.iter_mut() {
+                    if key.0 == host {
+                        link.extra_latency = if heal {
+                            link.extra_latency.saturating_sub(extra)
+                        } else {
+                            link.extra_latency + extra
+                        };
+                    }
+                }
+            }
+            ChaosAction::CabWedge { host, mdma } => {
+                if heal {
+                    return;
+                }
+                if let Some(h) = self.hosts.get_mut(host) {
+                    for iface in h.kernel.ifaces.iter_mut() {
+                        if let Some(ci) = iface.cab() {
+                            if mdma {
+                                ci.cab.faults.force_mdma_wedge_next();
+                            } else {
+                                ci.cab.faults.force_sdma_wedge_next();
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+            ChaosAction::BoardCrash { host } => {
+                if heal {
+                    return;
+                }
+                let target = self.hosts.get_mut(host).and_then(|h| {
+                    h.kernel.ifaces.iter_mut().find_map(|i| {
+                        let id = i.id;
+                        i.cab().map(|_| id)
+                    })
+                });
+                if let Some(iface_id) = target {
+                    let fx = {
+                        let h = &mut self.hosts[host];
+                        h.kernel.cab_board_crash(iface_id, &mut h.mem, now)
+                    };
+                    self.apply_effects(host, fx, now);
+                }
+            }
+            ChaosAction::NetmemSqueeze { host, permille, .. } => {
+                let depth = match self.chaos.as_mut() {
+                    Some(ch) => {
+                        let d = ch.squeeze_depth.entry(host).or_insert(0);
+                        if heal {
+                            *d = d.saturating_sub(1);
+                        } else {
+                            *d += 1;
+                        }
+                        *d
+                    }
+                    None => 0,
+                };
+                if let Some(h) = self.hosts.get_mut(host) {
+                    for iface in h.kernel.ifaces.iter_mut() {
+                        if let Some(ci) = iface.cab() {
+                            if heal {
+                                if depth == 0 {
+                                    ci.cab.squeeze_netmem(0);
+                                }
+                            } else {
+                                let total = ci.cab.netmem().pages_total();
+                                let reserved = (total as u64 * u64::from(permille) / 1000) as usize;
+                                ci.cab.squeeze_netmem(reserved);
+                            }
+                        }
+                    }
+                }
+            }
+            ChaosAction::HostPause { host, dur } => {
+                if heal {
+                    return; // the pause expires by time comparison below
+                }
+                if let Some(ch) = self.chaos.as_mut() {
+                    let until = now + dur;
+                    let e = ch.paused_until.entry(host).or_insert(until);
+                    if *e < until {
+                        *e = until;
+                    }
+                }
+            }
+            ChaosAction::StealthCorrupt { host } => {
+                if heal {
+                    return;
+                }
+                for (key, link) in self.links.iter_mut() {
+                    if key.0 == host {
+                        link.faults.force_stealth_corrupt_next();
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Open or close a down window on one host's outbound links (or, with
+    /// `host == None`, on every link — a full partition). Overlapping
+    /// windows stack: a link comes back up when its last window closes.
+    fn chaos_set_links(&mut self, host: Option<usize>, heal: bool) {
+        let Some(ch) = self.chaos.as_mut() else {
+            return;
+        };
+        for (key, link) in self.links.iter_mut() {
+            if host.is_none_or(|h| key.0 == h) {
+                let c = ch.down_count.entry(*key).or_insert(0);
+                if heal {
+                    *c = c.saturating_sub(1);
+                    if *c == 0 {
+                        link.up = true;
+                    }
+                } else {
+                    *c += 1;
+                    link.up = false;
+                }
+            }
         }
     }
 
@@ -284,6 +543,7 @@ impl World {
                 .publish_metrics(&mut reg.scope(&format!("{name}.cpu")));
         }
         let mut faults = outboard_netsim::FaultStats::default();
+        let mut down_drops = 0u64;
         // BTreeMap iterates in sorted key order, so the registry layout is
         // stable without an explicit sort.
         for (key, link) in &self.links {
@@ -295,6 +555,8 @@ impl World {
             faults.corrupted += f.corrupted;
             faults.reordered += f.reordered;
             faults.duplicated += f.duplicated;
+            faults.stealth_corrupted += f.stealth_corrupted;
+            down_drops += link.down_drops;
         }
         let mut w = reg.scope("world");
         w.counter("events_dispatched", self.events_dispatched);
@@ -305,6 +567,27 @@ impl World {
         w.counter("faults.corrupted", faults.corrupted);
         w.counter("faults.reordered", faults.reordered);
         w.counter("faults.duplicated", faults.duplicated);
+        w.counter("faults.stealth_corrupted", faults.stealth_corrupted);
+        // Chaos counters publish only when a schedule is installed, so
+        // chaos-free runs keep byte-identical registries (the same gate the
+        // span stats use).
+        if let Some(ch) = &self.chaos {
+            let st = &ch.stats;
+            let mut c = w.sub("chaos");
+            c.counter("events_scheduled", ch.schedule.events.len() as u64);
+            c.counter("events_applied", st.events_applied);
+            c.counter("heals_applied", st.heals_applied);
+            c.counter("link_downs", st.link_downs);
+            c.counter("partitions", st.partitions);
+            c.counter("delay_spikes", st.delay_spikes);
+            c.counter("cab_wedges", st.cab_wedges);
+            c.counter("board_crashes", st.board_crashes);
+            c.counter("netmem_squeezes", st.netmem_squeezes);
+            c.counter("host_pauses", st.host_pauses);
+            c.counter("stealth_corrupts", st.stealth_corrupts);
+            c.counter("deferred_events", st.deferred_events);
+            c.counter("down_drops", down_drops);
+        }
         // Mechanism-trace eviction is always surfaced (satellite of the
         // bounded-ring fix): undercounting must be visible from artifacts,
         // not just stderr.
@@ -616,6 +899,24 @@ impl World {
     }
 
     fn dispatch(&mut self, ev: Event, now: Time) {
+        // A paused host's CPU-side events are deferred (re-queued at the
+        // resume time, preserving FIFO order among deferred events); the
+        // fabric and the chaos injector itself keep running.
+        if let Some(ch) = self.chaos.as_mut() {
+            if let Some(h) = Self::cpu_host_of(&ev) {
+                match ch.paused_until.get(&h).copied() {
+                    Some(until) if now < until => {
+                        ch.stats.deferred_events += 1;
+                        self.queue.push(until, ev);
+                        return;
+                    }
+                    Some(_) => {
+                        ch.paused_until.remove(&h);
+                    }
+                    None => {}
+                }
+            }
+        }
         self.events_dispatched += 1;
         match ev {
             Event::AppStep { host, task } => {
@@ -751,6 +1052,9 @@ impl World {
                     h.kernel.timer_fire(kind, &mut h.mem, now)
                 };
                 self.apply_effects(host, fx, now);
+            }
+            Event::Chaos { idx, heal } => {
+                self.apply_chaos(idx, heal, now);
             }
         }
     }

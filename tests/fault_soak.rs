@@ -15,6 +15,7 @@ use outboard::sim::{Dur, Time};
 use outboard::stack::StackConfig;
 use outboard::testbed::apps::TtcpReceiver;
 use outboard::testbed::experiment::build_ttcp_world;
+use outboard::testbed::oracle;
 use outboard::testbed::{run_ttcp, ExperimentConfig, Metrics, World};
 
 fn base_cfg(total: usize, seed: u64) -> ExperimentConfig {
@@ -28,51 +29,17 @@ fn base_cfg(total: usize, seed: u64) -> ExperimentConfig {
 
 /// The invariants that must survive any fault mix. Deliberately does NOT
 /// require `ip.errors == 0`: fault recovery may tear down routes mid-RST.
+/// The identities themselves live in `testbed::oracle` and are shared with
+/// the chaos engine.
 fn assert_conserved_under_faults(m: &Metrics, total: usize) {
     assert!(m.completed, "transfer stalled: {m:?}");
     assert_eq!(m.bytes, total, "receiver did not read the whole transfer");
     assert_eq!(m.verify_errors, 0, "payload corrupted end-to-end");
-    let r = &m.stats;
-
-    // Checksum conservation: every transport packet emitted was checksummed
-    // exactly once, outboard or in software — even on retried, parked, or
-    // degraded-path transmissions.
-    for h in 0..2 {
-        let hw = r.counter_value(&format!("host{h}.csum.hw"));
-        let sw = r.counter_value(&format!("host{h}.csum.sw"));
-        let segs = r.counter_value(&format!("host{h}.tcp.segs_out"));
-        let rsts = r.counter_value(&format!("host{h}.tcp.rst_sent"));
-        let udp = r.counter_value(&format!("host{h}.udp.datagrams_out"));
-        assert_eq!(
-            hw + sw,
-            segs + rsts + udp,
-            "host{h}: hw {hw} + sw {sw} checksums != {segs} segs + {rsts} rsts + {udp} dgrams"
-        );
-    }
-
-    // Fabric conservation: per-link admissions sum to the world totals.
-    let link_bytes: u64 = r
-        .iter()
-        .filter(|(name, _)| name.starts_with("link.") && name.ends_with(".bytes_in"))
-        .map(|(name, _)| r.counter_value(name))
-        .sum();
-    assert_eq!(link_bytes, r.counter_value("world.bytes_on_fabric"));
-
-    // The aggregated fault counters must agree with the per-link ones.
-    for fate in ["offered", "dropped", "corrupted", "reordered", "duplicated"] {
-        let per_link: u64 = r
-            .iter()
-            .filter(|(name, _)| {
-                name.starts_with("link.") && name.ends_with(&format!(".faults.{fate}"))
-            })
-            .map(|(name, _)| r.counter_value(name))
-            .sum();
-        assert_eq!(
-            per_link,
-            r.counter_value(&format!("world.faults.{fate}")),
-            "world.faults.{fate} does not aggregate the links"
-        );
-    }
+    let violations = oracle::conservation_violations(&m.stats, 2);
+    assert!(
+        violations.is_empty(),
+        "conservation broken: {violations:#?}"
+    );
 }
 
 #[test]
