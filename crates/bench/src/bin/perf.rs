@@ -11,15 +11,26 @@
 //!    with `--jobs 1` vs the configured worker count, verifying the
 //!    parallel results are **identical** to serial (exit 1 on mismatch —
 //!    CI's determinism gate);
-//! 4. `checksum_wide` / `checksum_scalar` — ones-complement checksum
+//! 4. `sched_churn` — pure schedule/expire churn through the event
+//!    engines: events/sec for the reference heap vs the timing wheel on a
+//!    timer-heavy pending set (the wheel must win by ≥ 2x);
+//! 5. `macro_sweep` — the fig5-shaped end-to-end sweep run serially on
+//!    each engine, reporting events/sec and wall µs (the wheel must be no
+//!    worse end to end);
+//! 6. `checksum_wide` / `checksum_scalar` — ones-complement checksum
 //!    MB/s through the 8-byte-lane path vs the 16-bit reference path,
-//!    via the vendored criterion stand-in's measurement loop.
+//!    via the vendored criterion stand-in's measurement loop. The
+//!    wide-over-scalar speedup is a regression gate: below 4x the binary
+//!    exits 1 so scheduler work can't silently regress the checksum
+//!    pillar.
 //!
 //! `--smoke` shrinks every workload for CI; `--jobs N`/`OUTBOARD_JOBS`
-//! picks the parallel worker count.
+//! picks the parallel worker count (default: `min(4, cores)`, so the
+//! committed smoke numbers measure real parallelism).
 
 use outboard_bench::sweep;
 use outboard_host::MachineConfig;
+use outboard_sim::{EngineKind, EventEngine, Time};
 use outboard_stack::StackConfig;
 use outboard_testbed::{run_ttcp, ExperimentConfig, Metrics};
 use outboard_wire::checksum::Accumulator;
@@ -112,9 +123,36 @@ fn git_rev() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
+/// Pop/push churn through one engine: `pending` events in flight, each pop
+/// rescheduling a TCP-timer-like successor. Returns events (pops) per
+/// second of wall time.
+fn sched_churn(kind: EngineKind, pending: usize, churns: usize) -> f64 {
+    let mut eng: EventEngine<u64> = EventEngine::new(kind);
+    // Deterministic xorshift so both engines see the same schedule shape.
+    let mut rng = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    for i in 0..pending {
+        eng.push(Time(1 + next() % 5_000_000), i as u64);
+    }
+    let t0 = Instant::now();
+    for _ in 0..churns {
+        let (now, ev) = eng.pop().expect("pending set never drains");
+        // Reschedule like a retransmit timer: near future, ns granularity.
+        eng.push(now + outboard_sim::Dur(1 + next() % 5_000_000), ev);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    criterion::black_box(eng.len());
+    churns as f64 / secs.max(1e-9)
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let jobs = sweep::jobs();
+    let jobs = sweep::jobs_capped(4);
     let machine = MachineConfig::alpha_3000_400();
     let mut workloads: Vec<Workload> = Vec::new();
     let mut determinism_ok = true;
@@ -206,6 +244,7 @@ fn main() {
         name: "fig5_sweep_serial",
         fields: vec![
             ("wall_us", serial_us),
+            ("jobs", 1.0),
             ("events", events as f64),
             (
                 "events_per_sec",
@@ -225,7 +264,83 @@ fn main() {
         ],
     });
 
-    // 4. Checksum throughput: wide 8-byte lanes vs the scalar reference,
+    // 4. Scheduler churn: pure push/pop through the two event engines on a
+    // timer-heavy pending set. The heap pays O(log n) per op at this depth;
+    // the wheel is amortized O(1) and must win by >= 2x.
+    let (pending, churns) = if smoke {
+        (50_000, 200_000)
+    } else {
+        (100_000, 1_000_000)
+    };
+    // Warm up the allocator so neither engine pays first-touch costs.
+    sched_churn(EngineKind::Heap, 1000, 1000);
+    sched_churn(EngineKind::Wheel, 1000, 1000);
+    let heap_eps = sched_churn(EngineKind::Heap, pending, churns);
+    let wheel_eps = sched_churn(EngineKind::Wheel, pending, churns);
+    workloads.push(Workload {
+        name: "sched_churn",
+        fields: vec![
+            ("pending", pending as f64),
+            ("churns", churns as f64),
+            ("heap_events_per_sec", heap_eps),
+            ("wheel_events_per_sec", wheel_eps),
+            ("wheel_speedup", wheel_eps / heap_eps.max(1e-9)),
+        ],
+    });
+
+    // 5. Macro sweep: the same fig5-shaped item set end to end, serially,
+    // on each engine. The wheel must be no worse in events/sec. Engines
+    // alternate *within* each item and each engine keeps its per-item
+    // minimum over the reps — whole-sweep-granularity timing on a shared
+    // box drifts by ±10% between samples, which swamps the real engine
+    // difference; per-item interleaved minima converge on both engines'
+    // true floor.
+    let reps = if smoke { 7 } else { 2 };
+    let mut heap_wall_us = 0.0f64;
+    let mut wheel_wall_us = 0.0f64;
+    let mut heap_events = 0u64;
+    let mut wheel_events = 0u64;
+    for &(size, sc) in &items {
+        let total = if smoke {
+            256 * 1024
+        } else {
+            outboard_bench::total_for(size)
+        };
+        let mut mins = [f64::INFINITY; 2];
+        let mut events = [0u64; 2];
+        for _ in 0..reps {
+            for (i, kind) in [EngineKind::Heap, EngineKind::Wheel]
+                .into_iter()
+                .enumerate()
+            {
+                let mut cfg = experiment(&machine, sc, size, total);
+                cfg.engine = kind;
+                let t0 = Instant::now();
+                let m = run_ttcp(&cfg);
+                mins[i] = mins[i].min(t0.elapsed().as_micros() as f64);
+                events[i] = m.events_dispatched;
+            }
+        }
+        heap_wall_us += mins[0];
+        wheel_wall_us += mins[1];
+        heap_events += events[0];
+        wheel_events += events[1];
+    }
+    let heap_eps_macro = heap_events as f64 / (heap_wall_us / 1e6).max(1e-9);
+    let wheel_eps_macro = wheel_events as f64 / (wheel_wall_us / 1e6).max(1e-9);
+    workloads.push(Workload {
+        name: "macro_sweep",
+        fields: vec![
+            ("runs", items.len() as f64),
+            ("heap_wall_us", heap_wall_us),
+            ("wheel_wall_us", wheel_wall_us),
+            ("heap_events_per_sec", heap_eps_macro),
+            ("wheel_events_per_sec", wheel_eps_macro),
+            ("wheel_speedup", wheel_eps_macro / heap_eps_macro.max(1e-9)),
+        ],
+    });
+
+    // 6. Checksum throughput: wide 8-byte lanes vs the scalar reference,
     // measured with the vendored criterion stand-in.
     let buf_len = if smoke { 256 * 1024 } else { 4 * 1024 * 1024 };
     let buf: Vec<u8> = (0..buf_len).map(|i| (i * 31 + 7) as u8).collect();
@@ -242,13 +357,18 @@ fn main() {
     });
     let wide_mbps = wide.mb_per_sec(buf_len as u64);
     let scalar_mbps = scalar.mb_per_sec(buf_len as u64);
+    // PR-3's pillar, pinned: the wide path must stay >= 4x the scalar
+    // reference on the same machine or the harness fails.
+    let checksum_speedup = wide_mbps / scalar_mbps.max(1e-9);
+    let checksum_ok = checksum_speedup >= 4.0;
     workloads.push(Workload {
         name: "checksum_wide",
         fields: vec![
             ("wall_us", wide.per_iter_ns * wide.iters as f64 / 1e3),
             ("mb_per_sec", wide_mbps),
             ("bytes_per_iter", buf_len as f64),
-            ("speedup_vs_scalar", wide_mbps / scalar_mbps.max(1e-9)),
+            ("speedup_vs_scalar", checksum_speedup),
+            ("gate_4x_ok", if checksum_ok { 1.0 } else { 0.0 }),
         ],
     });
     workloads.push(Workload {
@@ -308,6 +428,13 @@ fn main() {
         eprintln!(
             "perf: span tracing costs {overhead_pct:.1}% wall-clock on \
              tcp_large_window (budget: 2%) — failing"
+        );
+        std::process::exit(1);
+    }
+    if !checksum_ok {
+        eprintln!(
+            "perf: wide checksum is only {checksum_speedup:.2}x the scalar \
+             reference (gate: 4x) — failing"
         );
         std::process::exit(1);
     }

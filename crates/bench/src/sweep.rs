@@ -22,10 +22,25 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
-/// Resolve the worker count: `--jobs N`/`--jobs=N` beats `OUTBOARD_JOBS`
-/// beats [`std::thread::available_parallelism`]. A malformed value aborts
-/// with a message rather than silently running serial.
-pub fn jobs() -> usize {
+/// Like [`jobs`], but when neither `--jobs` nor `OUTBOARD_JOBS` is given
+/// the fallback is `min(cap, cores)` instead of every core. The perf
+/// harness uses `cap = 4` so its committed smoke numbers measure real
+/// parallelism (not fan-out overhead on a busy box) yet stay comparable
+/// across machines.
+pub fn jobs_capped(cap: usize) -> usize {
+    match explicit_jobs() {
+        Some(n) => n,
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(cap.max(1)),
+    }
+}
+
+/// The worker count explicitly requested via `--jobs N`/`--jobs=N` or
+/// `OUTBOARD_JOBS`, if any. A malformed value aborts with a message rather
+/// than silently running serial.
+fn explicit_jobs() -> Option<usize> {
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 0;
     while i < argv.len() {
@@ -41,16 +56,25 @@ pub fn jobs() -> usize {
                     argv.get(i).cloned().unwrap_or_default()
                 }
             };
-            return parse_jobs("--jobs", &val);
+            return Some(parse_jobs("--jobs", &val));
         }
         i += 1;
     }
-    if let Ok(val) = std::env::var("OUTBOARD_JOBS") {
-        return parse_jobs("OUTBOARD_JOBS", &val);
+    std::env::var("OUTBOARD_JOBS")
+        .ok()
+        .map(|val| parse_jobs("OUTBOARD_JOBS", &val))
+}
+
+/// Resolve the worker count: `--jobs N`/`--jobs=N` beats `OUTBOARD_JOBS`
+/// beats [`std::thread::available_parallelism`]. A malformed value aborts
+/// with a message rather than silently running serial.
+pub fn jobs() -> usize {
+    match explicit_jobs() {
+        Some(n) => n,
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
 }
 
 fn parse_jobs(src: &str, val: &str) -> usize {

@@ -13,7 +13,6 @@
 use super::Kernel;
 use crate::driver::{CabIface, PendingTx, SdmaPurpose};
 use crate::types::{Effect, IfaceId, SockId, TimerKind};
-use bytes::Bytes;
 use outboard_cab::{CabError, CabEvent, PacketId, SdmaDst, SdmaRx, SdmaTx};
 use outboard_host::{Charge, HostMem, UserMemory};
 use outboard_mbuf::{Chain, Mbuf, MbufData};
@@ -553,7 +552,7 @@ impl Kernel {
                 let Some((off, d)) = found else {
                     break;
                 };
-                let mut buf = vec![0u8; d.len];
+                let (mut buf, ticket) = self.cluster_alloc(d.len);
                 self.with_cab(iface_id, |k, cab| {
                     // A buffer already gone reads as zeros; the peer's
                     // checksum rejects any segment built from it.
@@ -562,6 +561,7 @@ impl Kernel {
                     let cost = k.memsys.read_cost(d.len, d.len.max(4096));
                     k.cpu_dur(cost, Charge::Interrupt);
                 });
+                let rescued_mbuf = Mbuf::kernel(self.cluster_freeze(buf, ticket));
                 let Some(s) = self.sockets.get_mut(&sock) else {
                     break;
                 };
@@ -570,7 +570,7 @@ impl Kernel {
                 };
                 let taken = std::mem::take(chain);
                 let (new_chain, _removed) =
-                    super::replace_range_take(taken, off, d.len, Mbuf::kernel(Bytes::from(buf)));
+                    super::replace_range_take(taken, off, d.len, rescued_mbuf);
                 *chain = new_chain;
                 rescued = true;
             }
@@ -594,7 +594,7 @@ impl Kernel {
             Ok(ev) => k.fx.push(Effect::Cab { iface, event: ev }),
             Err(e) => {
                 Kernel::watchdog_on_wedge(k, cab, iface, &e);
-                let mut buf = vec![0u8; req.len];
+                let (mut buf, ticket) = k.cluster_alloc(req.len);
                 let _ = cab.cab.read_packet(req.packet, req.src_off, &mut buf);
                 let cost = k.memsys.read_cost(req.len, req.len.max(4096));
                 k.cpu_dur(cost, Charge::Interrupt);
@@ -603,9 +603,12 @@ impl Kernel {
                         if mem.write_user(task, vaddr, &buf).is_err() {
                             k.stats.user_mem_faults += 1;
                         }
+                        if let (Some(p), Some(t)) = (&k.pool, ticket) {
+                            p.release(buf, t);
+                        }
                         None
                     }
-                    SdmaDst::Kernel => Some(Bytes::from(buf)),
+                    SdmaDst::Kernel => Some(k.cluster_freeze(buf, ticket)),
                 };
                 // A wedged engine holds the buffer until board reset; PIO
                 // may still read the bytes, but the host must not free.

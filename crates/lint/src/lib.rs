@@ -19,6 +19,9 @@
 //!   `world.spans.*` namespace);
 //! * `span-balance` — a `span_open` in a hot-path module must have a
 //!   matching `span_close`/`span_drop` in the same function;
+//! * `payload-alloc` — no `vec![…]`/`Vec::with_capacity`/`.to_vec()` on
+//!   the netsim/mbuf frame hot paths: payload storage comes from
+//!   `sim::pool`;
 //! * `bad-pragma` — malformed or unknown-rule suppressions.
 //!
 //! Suppression: `// lint: allow(rule-name, reason)` on the flagged line or
@@ -403,6 +406,55 @@ const FIXTURES: &[Fixture] = &[
         rel: "crates/core/src/kernel/robust.rs",
         src: "fn f(k: &mut K, now: Time) { k.span_detour_open(IfaceId(0), Stage::RetryDwell, now); }\n",
         rule: "span-balance",
+        expect: 0,
+    },
+    Fixture {
+        name: "vec! payload on link hot path fires",
+        rel: "crates/netsim/src/link.rs",
+        src: "fn frame() -> Vec<u8> { vec![0u8; 1500] }\n",
+        rule: "payload-alloc",
+        expect: 1,
+    },
+    Fixture {
+        name: "with_capacity on mbuf hot path fires",
+        rel: "crates/mbuf/src/mbuf.rs",
+        src: "fn cluster() -> Vec<u8> { Vec::with_capacity(4096) }\n",
+        rule: "payload-alloc",
+        expect: 1,
+    },
+    Fixture {
+        name: "to_vec copy on fault path fires",
+        rel: "crates/netsim/src/fault.rs",
+        src: "fn copy(b: &[u8]) -> Vec<u8> { b.to_vec() }\n",
+        rule: "payload-alloc",
+        expect: 1,
+    },
+    Fixture {
+        name: "pooled acquire does not fire",
+        rel: "crates/netsim/src/link.rs",
+        src: "fn frame(p: &BufPool) -> (Vec<u8>, Ticket) { p.acquire(1500) }\n",
+        rule: "payload-alloc",
+        expect: 0,
+    },
+    Fixture {
+        name: "pragma suppresses payload-alloc",
+        rel: "crates/mbuf/src/chain.rs",
+        src: "fn flatten(len: usize) -> Vec<u8> {\n    // lint: allow(payload-alloc, verification gather off the transfer path)\n    Vec::with_capacity(len)\n}\n",
+        rule: "payload-alloc",
+        expect: 0,
+    },
+    Fixture {
+        name: "vec! in pool module ignored",
+        rel: "crates/sim/src/pool.rs",
+        src: "fn backing() -> Vec<u8> { vec![0u8; 4096] }\n",
+        rule: "payload-alloc",
+        expect: 0,
+    },
+    Fixture {
+        name: "vec! in test region ignored",
+        rel: "crates/netsim/src/link.rs",
+        src: "fn hot() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let _ = vec![0u8; 64]; }\n}\n",
+        rule: "payload-alloc",
         expect: 0,
     },
     Fixture {

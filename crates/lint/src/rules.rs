@@ -17,6 +17,7 @@ pub const RULE_NAMES: &[&str] = &[
     "wallclock",
     "metrics-naming",
     "span-balance",
+    "payload-alloc",
     "bad-pragma",
 ];
 
@@ -49,6 +50,18 @@ const SIM_FACING: &[&str] = &[
 /// lint tool itself parses argv.
 const WALLCLOCK_EXEMPT: &[&str] = &["crates/bench/", "crates/lint/"];
 
+/// Frame/cluster payload hot paths: per-frame storage here must come from
+/// `sim::pool` (the steady-state transfer allocates nothing per frame), so
+/// a fresh `vec![…]` / `Vec::with_capacity` / `.to_vec()` is either a pool
+/// bypass or needs a `// lint: allow(payload-alloc, reason)` pragma
+/// explaining why the path is cold.
+const PAYLOAD_POOL_FILES: &[&str] = &[
+    "crates/netsim/src/link.rs",
+    "crates/netsim/src/fault.rs",
+    "crates/mbuf/src/mbuf.rs",
+    "crates/mbuf/src/chain.rs",
+];
+
 struct ScanCx<'a> {
     rel: &'a str,
     lex: &'a LexedFile,
@@ -64,6 +77,7 @@ pub fn run_all(rel: &str, raw: &str, lex: &LexedFile) -> Vec<Finding> {
     wallclock(&cx, &mut findings);
     metrics_naming(&cx, &mut findings);
     span_balance(&cx, &mut findings);
+    payload_alloc(&cx, &mut findings);
     bad_pragma(&cx, &mut findings);
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     findings.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
@@ -410,7 +424,33 @@ fn fn_extents(hay: &[u8]) -> Vec<(usize, usize)> {
     extents
 }
 
-/// Rule 6: malformed pragmas and pragmas naming unknown rules. Not
+/// Rule 6: no direct payload allocation on the frame/cluster hot paths.
+/// `netsim::link`, `fault.rs` frame fates, and the mbuf cluster path
+/// recycle storage through `sim::pool`; a stray `vec![…]`,
+/// `Vec::with_capacity`, or `.to_vec()` there reintroduces the per-frame
+/// allocation the pool exists to eliminate.
+fn payload_alloc(cx: &ScanCx<'_>, out: &mut Vec<Finding>) {
+    if !PAYLOAD_POOL_FILES.contains(&cx.rel) {
+        return;
+    }
+    const NEEDLES: &[&str] = &["vec!", "Vec::with_capacity", ".to_vec("];
+    for needle in NEEDLES {
+        for pos in token_hits(cx.lex, needle, false) {
+            push(
+                cx,
+                out,
+                "payload-alloc",
+                pos,
+                format!(
+                    "`{needle}` on a payload hot path: frame/cluster storage must \
+                     come from sim::pool (pragma a cold path with a reason)"
+                ),
+            );
+        }
+    }
+}
+
+/// Rule 7: malformed pragmas and pragmas naming unknown rules. Not
 /// suppressible (a pragma cannot vouch for itself).
 fn bad_pragma(cx: &ScanCx<'_>, out: &mut Vec<Finding>) {
     for issue in &cx.lex.pragma_issues {

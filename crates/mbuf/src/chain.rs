@@ -218,6 +218,7 @@ impl Chain {
     /// if the chain contains any external descriptor (whose bytes live
     /// elsewhere) — callers needing those must go through the driver.
     pub fn flatten_kernel(&self) -> Option<Vec<u8>> {
+        // lint: allow(payload-alloc, diagnostic/verification gather, not on the per-frame transfer path)
         let mut out = Vec::with_capacity(self.len);
         for m in &self.mbufs {
             match m.data() {

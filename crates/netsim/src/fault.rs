@@ -7,9 +7,10 @@
 //! the third data segment and watch TCP retransmit it from outboard memory
 //! without re-DMAing the body".
 
-use bytes::{Bytes, BytesMut};
-use outboard_sim::{Dur, Pcg32};
+use bytes::Bytes;
+use outboard_sim::{BufPool, Dur, Pcg32};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 pub use outboard_sim::rng::{check_probability, FaultConfigError};
 
@@ -76,6 +77,9 @@ pub struct FaultInjector {
     forced: VecDeque<ForcedFault>,
     /// Cumulative fate counts.
     pub stats: FaultStats,
+    /// Optional buffer pool for corruption copies (the only fates that
+    /// rewrite a frame); without one they fall back to plain allocation.
+    pool: Option<Arc<BufPool>>,
 }
 
 impl FaultInjector {
@@ -90,6 +94,31 @@ impl FaultInjector {
             rng: Pcg32::new(seed),
             forced: VecDeque::new(),
             stats: FaultStats::default(),
+            pool: None,
+        }
+    }
+
+    /// Recycle corruption-copy storage through `pool`.
+    pub fn set_pool(&mut self, pool: Arc<BufPool>) {
+        self.pool = Some(pool);
+    }
+
+    /// Copy `payload` into a mutable buffer (pooled when a pool is shared)
+    /// and freeze the edited bytes back into a frame.
+    fn edited_copy(&self, payload: &Bytes, edit: impl FnOnce(&mut [u8])) -> Bytes {
+        match &self.pool {
+            Some(p) => {
+                let (mut buf, ticket) = p.acquire(payload.len());
+                buf.copy_from_slice(payload);
+                edit(&mut buf);
+                p.freeze(buf, ticket)
+            }
+            None => {
+                // lint: allow(payload-alloc, pool-less fallback for standalone injectors; worlds always share a pool)
+                let mut buf = payload.to_vec();
+                edit(&mut buf);
+                Bytes::from(buf)
+            }
         }
     }
 
@@ -153,13 +182,12 @@ impl FaultInjector {
     }
 
     fn corrupt(&mut self, payload: &Bytes) -> Bytes {
-        let mut buf = BytesMut::from(payload.as_ref());
-        if !buf.is_empty() {
-            let bit = self.rng.below((buf.len() * 8) as u32) as usize;
-            buf[bit / 8] ^= 1 << (bit % 8);
-        }
         self.stats.corrupted += 1;
-        buf.freeze()
+        if payload.is_empty() {
+            return payload.clone();
+        }
+        let bit = self.rng.below((payload.len() * 8) as u32) as usize;
+        self.edited_copy(payload, |buf| buf[bit / 8] ^= 1 << (bit % 8))
     }
 
     /// Corrupt `payload` without changing its Internet checksum.
@@ -193,11 +221,11 @@ impl FaultInjector {
                         clear_at = Some(i);
                     }
                     if let (Some(set), Some(clear)) = (set_at, clear_at) {
-                        let mut buf = BytesMut::from(payload.as_ref());
-                        buf[start + set] ^= 1 << bit;
-                        buf[start + clear] ^= 1 << bit;
                         self.stats.stealth_corrupted += 1;
-                        return buf.freeze();
+                        return self.edited_copy(payload, |buf| {
+                            buf[start + set] ^= 1 << bit;
+                            buf[start + clear] ^= 1 << bit;
+                        });
                     }
                 }
             }

@@ -16,7 +16,7 @@ pub mod link;
 
 pub use capture::{Capture, CapturedFrame, Framing};
 pub use fault::{Fate, FaultConfigError, FaultInjector, FaultStats};
-pub use link::{Delivery, Link};
+pub use link::{Deliveries, Delivery, Link};
 
 use bytes::Bytes;
 

@@ -8,7 +8,8 @@
 use crate::fault::{Fate, FaultInjector};
 use bytes::Bytes;
 use outboard_sim::obs::Scope;
-use outboard_sim::{Dur, Time};
+use outboard_sim::{BufPool, Dur, Time};
+use std::sync::Arc;
 
 /// A scheduled arrival at the far end of a link.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -17,6 +18,81 @@ pub struct Delivery {
     pub at: Time,
     /// The delivered frame.
     pub payload: Bytes,
+}
+
+/// The outcome of offering one frame to a link: zero, one, or (duplication)
+/// two deliveries — a fixed-size enum instead of a per-frame `Vec`, so the
+/// fabric hot path never allocates just to say "delivered once".
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum Deliveries {
+    /// Dropped (down link or fault).
+    #[default]
+    None,
+    /// Delivered once.
+    One(Delivery),
+    /// Delivered twice (duplication fault); the second arrives later.
+    Two(Delivery, Delivery),
+}
+
+impl Deliveries {
+    /// True when the frame was not delivered at all.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Deliveries::None)
+    }
+
+    /// Number of deliveries (0, 1, or 2).
+    pub fn len(&self) -> usize {
+        match self {
+            Deliveries::None => 0,
+            Deliveries::One(_) => 1,
+            Deliveries::Two(..) => 2,
+        }
+    }
+
+    /// Iterate over the deliveries without consuming them.
+    pub fn iter(
+        &self,
+    ) -> std::iter::Chain<std::option::IntoIter<&Delivery>, std::option::IntoIter<&Delivery>> {
+        let (a, b) = match self {
+            Deliveries::None => (None, None),
+            Deliveries::One(d) => (Some(d), None),
+            Deliveries::Two(d, e) => (Some(d), Some(e)),
+        };
+        a.into_iter().chain(b)
+    }
+}
+
+impl std::ops::Index<usize> for Deliveries {
+    type Output = Delivery;
+    fn index(&self, i: usize) -> &Delivery {
+        match (self, i) {
+            (Deliveries::One(d), 0) | (Deliveries::Two(d, _), 0) | (Deliveries::Two(_, d), 1) => d,
+            _ => panic!("delivery index {i} out of bounds (len {})", self.len()),
+        }
+    }
+}
+
+impl IntoIterator for Deliveries {
+    type Item = Delivery;
+    type IntoIter =
+        std::iter::Chain<std::option::IntoIter<Delivery>, std::option::IntoIter<Delivery>>;
+    fn into_iter(self) -> Self::IntoIter {
+        let (a, b) = match self {
+            Deliveries::None => (None, None),
+            Deliveries::One(d) => (Some(d), None),
+            Deliveries::Two(d, e) => (Some(d), Some(e)),
+        };
+        a.into_iter().chain(b)
+    }
+}
+
+impl<'a> IntoIterator for &'a Deliveries {
+    type Item = &'a Delivery;
+    type IntoIter =
+        std::iter::Chain<std::option::IntoIter<&'a Delivery>, std::option::IntoIter<&'a Delivery>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
 }
 
 /// One direction of a point-to-point link.
@@ -81,16 +157,22 @@ impl Link {
         }
     }
 
+    /// Share a buffer pool with this link's fault injector (corruption
+    /// copies recycle frame storage instead of allocating).
+    pub fn set_pool(&mut self, pool: Arc<BufPool>) {
+        self.faults.set_pool(pool);
+    }
+
     /// Offer a frame at `now`; returns zero, one, or (duplication) two
     /// deliveries for the far end.
-    pub fn transmit(&mut self, payload: Bytes, now: Time) -> Vec<Delivery> {
+    pub fn transmit(&mut self, payload: Bytes, now: Time) -> Deliveries {
         self.frames_in += 1;
         self.bytes_in += payload.len() as u64;
         if !self.up {
             // A down link never presents the frame to the fault injector, so
             // the probabilistic fault stream is unaffected by outage windows.
             self.down_drops += 1;
-            return Vec::new();
+            return Deliveries::None;
         }
         let fate = self.faults.fate(payload);
         let Fate::Deliver {
@@ -99,7 +181,7 @@ impl Link {
             duplicate,
         } = fate
         else {
-            return Vec::new();
+            return Deliveries::None;
         };
         let serialized_at = match self.bandwidth_bps {
             Some(bps) => {
@@ -113,18 +195,21 @@ impl Link {
         let at = serialized_at + self.latency + self.extra_latency + extra_delay;
         self.frames_delivered += 1;
         self.bytes_delivered += payload.len() as u64;
-        let mut out = vec![Delivery {
-            at,
-            payload: payload.clone(),
-        }];
         if duplicate {
             self.frames_delivered += 1;
-            out.push(Delivery {
-                at: at + Dur::micros(1),
-                payload,
-            });
+            Deliveries::Two(
+                Delivery {
+                    at,
+                    payload: payload.clone(),
+                },
+                Delivery {
+                    at: at + Dur::micros(1),
+                    payload,
+                },
+            )
+        } else {
+            Deliveries::One(Delivery { at, payload })
         }
-        out
     }
 
     /// Publish link traffic and fault-injection counters into a registry

@@ -1,0 +1,193 @@
+//! Pluggable event-scheduler engine.
+//!
+//! The simulator core can run on either the reference binary-heap
+//! [`EventQueue`] or the O(1) [`TimingWheel`]. Both implement identical
+//! `(Time, seq)` FIFO semantics — the wheel is the default because it is
+//! faster on the timer-heavy schedules TCP generates, and the heap stays
+//! available for differential testing and A/B byte-identity checks.
+
+use crate::queue::EventQueue;
+use crate::time::Time;
+use crate::wheel::TimingWheel;
+
+/// Which scheduler implementation a simulation runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Reference `BinaryHeap` scheduler (O(log n) push/pop).
+    Heap,
+    /// Hierarchical timing wheel (amortized O(1) push/pop), the default.
+    #[default]
+    Wheel,
+}
+
+impl EngineKind {
+    /// Parse `"heap"` / `"wheel"` (CLI `--engine` flags).
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        match s {
+            "heap" => Some(EngineKind::Heap),
+            "wheel" => Some(EngineKind::Wheel),
+            _ => None,
+        }
+    }
+
+    /// The CLI name of this engine.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Heap => "heap",
+            EngineKind::Wheel => "wheel",
+        }
+    }
+
+    /// Resolve the engine from `OUTBOARD_ENGINE` (`"heap"` / `"wheel"`),
+    /// defaulting to the wheel. Lets the CI byte-identity steps re-run any
+    /// bin on the reference heap without per-bin flags. Aborts on a
+    /// malformed value rather than silently falling back.
+    pub fn from_env() -> EngineKind {
+        // lint: allow(wallclock, engine selection is an explicit experiment input, read once at config build)
+        match std::env::var("OUTBOARD_ENGINE") {
+            Ok(v) => match EngineKind::parse(&v) {
+                Some(k) => k,
+                None => {
+                    eprintln!("OUTBOARD_ENGINE must be \"heap\" or \"wheel\", got {v:?}");
+                    std::process::exit(2);
+                }
+            },
+            Err(_) => EngineKind::default(),
+        }
+    }
+}
+
+/// A scheduler that is either the reference heap or the timing wheel,
+/// behind the [`EventQueue`] API. `peek_time` takes `&mut self` because the
+/// wheel's peek may advance its internal cursor (never past the earliest
+/// pending event).
+// One engine lives per world and is never moved on the hot path, so the
+// size gap between the inline wheel and the heap doesn't matter; boxing
+// the wheel would put a pointer chase on every push/pop instead.
+#[allow(clippy::large_enum_variant)]
+pub enum EventEngine<E> {
+    /// Reference heap scheduler.
+    Heap(EventQueue<E>),
+    /// Timing-wheel scheduler.
+    Wheel(TimingWheel<E>),
+}
+
+impl<E> Default for EventEngine<E> {
+    fn default() -> Self {
+        Self::new(EngineKind::default())
+    }
+}
+
+impl<E> EventEngine<E> {
+    /// An empty engine of the given kind with the clock at time zero.
+    pub fn new(kind: EngineKind) -> Self {
+        match kind {
+            EngineKind::Heap => EventEngine::Heap(EventQueue::new()),
+            EngineKind::Wheel => EventEngine::Wheel(TimingWheel::new()),
+        }
+    }
+
+    /// Which implementation this engine runs on.
+    pub fn kind(&self) -> EngineKind {
+        match self {
+            EventEngine::Heap(_) => EngineKind::Heap,
+            EventEngine::Wheel(_) => EngineKind::Wheel,
+        }
+    }
+
+    /// The instant of the most recently popped event.
+    #[inline]
+    pub fn now(&self) -> Time {
+        match self {
+            EventEngine::Heap(q) => q.now(),
+            EventEngine::Wheel(w) => w.now(),
+        }
+    }
+
+    /// Schedule `event` at absolute time `at`. Panics if `at` is in the
+    /// past (see [`EventQueue::push`]).
+    #[inline]
+    pub fn push(&mut self, at: Time, event: E) {
+        match self {
+            EventEngine::Heap(q) => q.push(at, event),
+            EventEngine::Wheel(w) => w.push(at, event),
+        }
+    }
+
+    /// Pop the earliest event and advance the clock to its timestamp.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        match self {
+            EventEngine::Heap(q) => q.pop(),
+            EventEngine::Wheel(w) => w.pop(),
+        }
+    }
+
+    /// The timestamp of the next event without popping it.
+    #[inline]
+    pub fn peek_time(&mut self) -> Option<Time> {
+        match self {
+            EventEngine::Heap(q) => q.peek_time(),
+            EventEngine::Wheel(w) => w.peek_time(),
+        }
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        match self {
+            EventEngine::Heap(q) => q.len(),
+            EventEngine::Wheel(w) => w.len(),
+        }
+    }
+
+    /// True when no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            EventEngine::Heap(q) => q.is_empty(),
+            EventEngine::Wheel(w) => w.is_empty(),
+        }
+    }
+
+    /// Drop every queued event (keeps the clock).
+    pub fn clear(&mut self) {
+        match self {
+            EventEngine::Heap(q) => q.clear(),
+            EventEngine::Wheel(w) => w.clear(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_round_trips() {
+        assert_eq!(EngineKind::parse("heap"), Some(EngineKind::Heap));
+        assert_eq!(EngineKind::parse("wheel"), Some(EngineKind::Wheel));
+        assert_eq!(EngineKind::parse("splay"), None);
+        assert_eq!(EngineKind::Heap.name(), "heap");
+        assert_eq!(EngineKind::Wheel.name(), "wheel");
+        assert_eq!(EngineKind::default(), EngineKind::Wheel);
+    }
+
+    #[test]
+    fn both_engines_pop_identically() {
+        let mut h = EventEngine::<u32>::new(EngineKind::Heap);
+        let mut w = EventEngine::<u32>::new(EngineKind::Wheel);
+        for (at, ev) in [(5u64, 0u32), (1, 1), (5, 2), (3, 3)] {
+            h.push(Time(at), ev);
+            w.push(Time(at), ev);
+        }
+        assert_eq!(h.len(), w.len());
+        assert_eq!(h.peek_time(), w.peek_time());
+        loop {
+            let a = h.pop();
+            let b = w.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}

@@ -8,6 +8,12 @@
 //! * [`Time`] / [`Dur`] — nanosecond-resolution virtual time,
 //! * [`EventQueue`] — a priority queue with FIFO tie-breaking so same-time
 //!   events run in insertion order on every platform,
+//! * [`TimingWheel`] / [`EventEngine`] — a hierarchical timing wheel with
+//!   the same FIFO semantics but O(1) schedule/expire (the default engine;
+//!   the heap stays as the differential-testing reference),
+//! * [`BufPool`] — generation-tagged slab/freelist pools behind the wire
+//!   frame and packet-buffer hot paths (steady-state transfers recycle
+//!   buffers instead of allocating per frame),
 //! * [`Pcg32`] — a small, seedable PRNG with a stable stream (we deliberately
 //!   do not depend on an external RNG crate whose stream could change across
 //!   versions),
@@ -24,17 +30,23 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod engine;
 pub mod obs;
+pub mod pool;
 pub mod queue;
 pub mod rng;
 pub mod span;
 pub mod stats;
 pub mod time;
 pub mod trace;
+pub mod wheel;
 
 pub use chaos::{ChaosAction, ChaosEvent, ChaosSchedule};
+pub use engine::{EngineKind, EventEngine};
 pub use obs::{BusyTracker, Metric, MetricsRegistry};
+pub use pool::{BufPool, PoolStats, Ticket};
 pub use queue::EventQueue;
 pub use rng::{check_probability, FaultConfigError, Pcg32};
 pub use span::{FlowId, Span, SpanSink, Stage};
 pub use time::{Dur, Time};
+pub use wheel::TimingWheel;

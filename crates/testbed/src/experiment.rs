@@ -12,7 +12,7 @@ use crate::world::World;
 use bytes::Bytes;
 use outboard_cab::{Cab, CabEvent, SdmaDst, SdmaRx, SdmaTx, SgEntry};
 use outboard_host::{HostMem, MachineConfig, TaskId};
-use outboard_sim::{stats, Dur, MetricsRegistry, Time};
+use outboard_sim::{stats, Dur, EngineKind, MetricsRegistry, Time};
 use outboard_stack::{SockAddr, StackConfig};
 use std::net::Ipv4Addr;
 
@@ -62,6 +62,9 @@ pub struct ExperimentConfig {
     /// this off measures the pure recording cost of enabled-but-unused
     /// tracing (the perf harness's `trace_overhead` gate).
     pub trace_export: bool,
+    /// Event-scheduler engine (wheel by default; `OUTBOARD_ENGINE=heap`
+    /// re-runs on the reference heap for byte-identity checks).
+    pub engine: EngineKind,
 }
 
 impl ExperimentConfig {
@@ -88,6 +91,7 @@ impl ExperimentConfig {
             trace_capacity: 1 << 16,
             trace_flows: Some(64),
             trace_export: true,
+            engine: EngineKind::from_env(),
         }
     }
 
@@ -168,7 +172,7 @@ pub fn build_ttcp_world(cfg: &ExperimentConfig) -> World {
     if let Err(e) = cfg.validate() {
         panic!("invalid ExperimentConfig: {e}");
     }
-    let mut w = World::new();
+    let mut w = World::new_with_engine(cfg.engine);
     let a = w.add_host("sender", cfg.machine.clone(), cfg.stack.clone());
     let b = w.add_host("receiver", cfg.machine.clone(), cfg.stack.clone());
     let (if_a, if_b) = w.connect_cab(a, SENDER_IP, b, RECEIVER_IP, Dur::micros(5), cfg.seed);

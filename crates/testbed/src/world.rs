@@ -12,10 +12,11 @@ use outboard_host::{Charge, Cpu, HostMem, MachineConfig, TaskId};
 use outboard_netsim::{Capture, Framing, Link};
 use outboard_sim::chaos::{ChaosAction, ChaosSchedule};
 use outboard_sim::span::{self, CriticalPath, Span, SpanSink, Stage};
-use outboard_sim::{Dur, EventQueue, MetricsRegistry, Time};
+use outboard_sim::{BufPool, Dur, EngineKind, EventEngine, MetricsRegistry, Time};
 use outboard_stack::{Effect, IfaceId, Kernel, SockId, StackConfig, TimerKind};
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// What a scheduled event does when it fires. (Field meanings follow the
 /// kernel entry points they feed; see [`outboard_stack::Kernel`].)
@@ -183,7 +184,10 @@ struct ChaosState {
 pub struct World {
     /// All simulated hosts.
     pub hosts: Vec<Host>,
-    queue: EventQueue<Event>,
+    queue: EventEngine<Event>,
+    /// Shared frame/cluster buffer pool (every host kernel, CAB, and link
+    /// recycles storage through it; see `sim::pool`).
+    pub pool: Arc<BufPool>,
     /// Directed links keyed by the sending (host, iface).
     pub links: BTreeMap<(usize, IfaceId), Link>,
     /// HIPPI fabric address → (host, iface).
@@ -212,11 +216,20 @@ pub struct World {
 }
 
 impl World {
-    /// An empty world (add hosts, wire links, add apps, run).
+    /// An empty world (add hosts, wire links, add apps, run) on the default
+    /// (timing-wheel) event engine.
     pub fn new() -> World {
+        World::new_with_engine(EngineKind::default())
+    }
+
+    /// An empty world scheduling through the given event engine. The heap
+    /// engine is kept as a reference for differential testing; both produce
+    /// byte-identical runs.
+    pub fn new_with_engine(kind: EngineKind) -> World {
         World {
             hosts: Vec::new(),
-            queue: EventQueue::new(),
+            queue: EventEngine::new(kind),
+            pool: Arc::new(BufPool::new()),
             links: BTreeMap::new(),
             hippi_map: BTreeMap::new(),
             eth_peers: BTreeMap::new(),
@@ -593,6 +606,20 @@ impl World {
         // not just stderr.
         let trace_evicted: u64 = self.hosts.iter().map(|h| h.kernel.trace.dropped()).sum();
         w.counter("trace.evicted", trace_evicted);
+        // Pool counters publish only once the pool has been used, so worlds
+        // that never touch it (unit fixtures) keep byte-identical registries
+        // — the same gate the chaos and span stats use.
+        let ps = self.pool.stats();
+        if ps.acquires > 0 {
+            let mut p = w.sub("pool");
+            p.counter("acquires", ps.acquires);
+            p.counter("releases", ps.releases);
+            p.counter("hits", ps.hits);
+            p.counter("misses", ps.misses);
+            p.counter("discards", ps.discards);
+            p.counter("high_water", ps.high_water);
+            p.counter("ticket_errors", ps.ticket_errors);
+        }
         // Span stats publish only while tracing is on, so untraced runs
         // keep byte-identical registries (parallel-sweep gate).
         if self.span_tracing_on() {
@@ -646,9 +673,15 @@ impl World {
         reg
     }
 
+    /// The event engine this world schedules through.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.queue.kind()
+    }
+
     /// Add a host with the given machine and stack configuration.
     pub fn add_host(&mut self, name: &str, machine: MachineConfig, cfg: StackConfig) -> usize {
-        let kernel = Kernel::new(name, machine.clone(), cfg);
+        let mut kernel = Kernel::new(name, machine.clone(), cfg);
+        kernel.set_pool(Arc::clone(&self.pool));
         self.hosts.push(Host {
             kernel,
             mem: HostMem::new(),
@@ -676,9 +709,11 @@ impl World {
         self.next_hippi_addr += 2;
         let mtu = 32 * 1024;
 
-        let cab_a = outboard_cab::Cab::new(addr_a, self.hosts[a].kernel.cab_config());
+        let mut cab_a = outboard_cab::Cab::new(addr_a, self.hosts[a].kernel.cab_config());
+        cab_a.set_pool(Arc::clone(&self.pool));
         let if_a = self.hosts[a].kernel.add_cab_iface(ip_a, cab_a, mtu);
-        let cab_b = outboard_cab::Cab::new(addr_b, self.hosts[b].kernel.cab_config());
+        let mut cab_b = outboard_cab::Cab::new(addr_b, self.hosts[b].kernel.cab_config());
+        cab_b.set_pool(Arc::clone(&self.pool));
         let if_b = self.hosts[b].kernel.add_cab_iface(ip_b, cab_b, mtu);
 
         self.hosts[a].kernel.add_route(ip_b, 32, if_a);
@@ -688,10 +723,12 @@ impl World {
 
         self.hippi_map.insert(addr_a, (a, if_a));
         self.hippi_map.insert(addr_b, (b, if_b));
-        self.links
-            .insert((a, if_a), Link::hippi(latency, seed.wrapping_mul(2) + 1));
-        self.links
-            .insert((b, if_b), Link::hippi(latency, seed.wrapping_mul(2) + 2));
+        let mut link_a = Link::hippi(latency, seed.wrapping_mul(2) + 1);
+        link_a.set_pool(Arc::clone(&self.pool));
+        let mut link_b = Link::hippi(latency, seed.wrapping_mul(2) + 2);
+        link_b.set_pool(Arc::clone(&self.pool));
+        self.links.insert((a, if_a), link_a);
+        self.links.insert((b, if_b), link_b);
         (if_a, if_b)
     }
 
@@ -716,14 +753,14 @@ impl World {
         self.hosts[b].kernel.add_arp_ether(if_b, ip_a, mac_a);
         self.eth_peers.insert((a, if_a), (b, if_b));
         self.eth_peers.insert((b, if_b), (a, if_a));
-        self.links.insert(
-            (a, if_a),
-            Link::serializing(bandwidth_bps, Dur::micros(50), seed.wrapping_mul(3) + 1),
-        );
-        self.links.insert(
-            (b, if_b),
-            Link::serializing(bandwidth_bps, Dur::micros(50), seed.wrapping_mul(3) + 2),
-        );
+        let mut link_a =
+            Link::serializing(bandwidth_bps, Dur::micros(50), seed.wrapping_mul(3) + 1);
+        link_a.set_pool(Arc::clone(&self.pool));
+        let mut link_b =
+            Link::serializing(bandwidth_bps, Dur::micros(50), seed.wrapping_mul(3) + 2);
+        link_b.set_pool(Arc::clone(&self.pool));
+        self.links.insert((a, if_a), link_a);
+        self.links.insert((b, if_b), link_b);
         (if_a, if_b)
     }
 

@@ -12,10 +12,36 @@ use std::hash::{Hash, Hasher};
 use std::ops::{Bound, Deref, DerefMut, RangeBounds};
 use std::sync::Arc;
 
+/// Observer of backing-storage death: when the last [`Bytes`] view of a
+/// hooked buffer drops, the buffer (with its full capacity) and the ticket
+/// it was tagged with are handed back to the hook. Buffer pools use this to
+/// recycle frame storage without tracking every clone of a view.
+pub trait StorageHook: Send + Sync {
+    /// Called exactly once per hooked buffer, from the thread that drops
+    /// the last view.
+    fn reclaim(&self, buf: Vec<u8>, ticket: u64);
+}
+
+/// Reference-counted backing storage of a [`Bytes`], optionally tagged with
+/// a reclaim hook.
+#[derive(Default)]
+struct Storage {
+    buf: Vec<u8>,
+    hook: Option<(Arc<dyn StorageHook>, u64)>,
+}
+
+impl Drop for Storage {
+    fn drop(&mut self) {
+        if let Some((hook, ticket)) = self.hook.take() {
+            hook.reclaim(std::mem::take(&mut self.buf), ticket);
+        }
+    }
+}
+
 /// A cheaply cloneable, immutable, contiguous slice of memory.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<Vec<u8>>,
+    data: Arc<Storage>,
     off: usize,
     len: usize,
 }
@@ -24,6 +50,20 @@ impl Bytes {
     /// An empty `Bytes`.
     pub fn new() -> Bytes {
         Bytes::from(Vec::new())
+    }
+
+    /// Wrap `buf` and arrange for it to be handed back to `hook` (tagged
+    /// `ticket`) when the last view of it drops.
+    pub fn with_hook(buf: Vec<u8>, hook: Arc<dyn StorageHook>, ticket: u64) -> Bytes {
+        let len = buf.len();
+        Bytes {
+            data: Arc::new(Storage {
+                buf,
+                hook: Some((hook, ticket)),
+            }),
+            off: 0,
+            len,
+        }
     }
 
     /// A `Bytes` viewing a static slice (copied; this stand-in does not
@@ -100,7 +140,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
         let len = v.len();
         Bytes {
-            data: Arc::new(v),
+            data: Arc::new(Storage { buf: v, hook: None }),
             off: 0,
             len,
         }
@@ -122,7 +162,7 @@ impl From<String> for Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data[self.off..self.off + self.len]
+        &self.data.buf[self.off..self.off + self.len]
     }
 }
 
@@ -270,5 +310,29 @@ mod tests {
         let mut m = BytesMut::from(&b"abc"[..]);
         m[0] = b'x';
         assert_eq!(m.freeze(), Bytes::from_static(b"xbc"));
+    }
+
+    #[test]
+    fn hook_fires_once_when_last_view_drops() {
+        use std::sync::Mutex;
+        struct Collector(Mutex<Vec<(usize, u64)>>);
+        impl StorageHook for Collector {
+            fn reclaim(&self, buf: Vec<u8>, ticket: u64) {
+                self.0.lock().unwrap().push((buf.capacity(), ticket));
+            }
+        }
+        let hook = Arc::new(Collector(Mutex::new(Vec::new())));
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(b"pooled frame");
+        let b = Bytes::with_hook(buf, hook.clone(), 7);
+        let view = b.slice(2..8);
+        drop(b);
+        assert!(hook.0.lock().unwrap().is_empty(), "view still alive");
+        assert_eq!(&view[..], b"oled f");
+        drop(view);
+        let got = hook.0.lock().unwrap().clone();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1, 7);
+        assert!(got[0].0 >= 64, "capacity came back with the buffer");
     }
 }
