@@ -155,7 +155,7 @@ impl Reassembler {
         if have != total {
             return None;
         }
-        let mut buf = self.bufs.remove(&key).unwrap();
+        let mut buf = self.bufs.remove(&key)?;
         let mut payload = Chain::new();
         let mut first = true;
         for (_, c) in std::mem::take(&mut buf.parts) {

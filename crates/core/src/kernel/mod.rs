@@ -333,6 +333,24 @@ impl Kernel {
     // internal helpers
     // ------------------------------------------------------------------
 
+    /// Socket entry for an id already validated at syscall entry. Sockets
+    /// leave the table only through `sys_close`, which cannot interleave
+    /// with an in-flight syscall, so the entry outlives the whole call.
+    fn sock_mut(&mut self, sock: SockId) -> &mut Socket {
+        self.sockets
+            .get_mut(&sock)
+            // lint: allow(panic-hot-path, socket validated at syscall entry and close cannot interleave)
+            .expect("socket present for in-flight syscall")
+    }
+
+    /// Issue bytes on a UIO counter created earlier in the same syscall.
+    /// The counter cannot have drained yet: `complete` only runs from DMA
+    /// completions, which are events the current call has not returned to.
+    fn uio_issue(&mut self, counter: outboard_mbuf::UioCounterId, bytes: usize) {
+        // lint: allow(panic-hot-path, counter created in this syscall and DMA completions cannot preempt it)
+        self.uio.issue(counter, bytes).expect("live uio counter");
+    }
+
     pub(crate) fn cpu(&mut self, us: f64, charge: Charge) {
         if us > 0.0 {
             self.fx.push(Effect::Cpu {
@@ -363,6 +381,7 @@ impl Kernel {
         let idx = iface.0 as usize;
         let kind = std::mem::replace(&mut self.ifaces[idx].kind, IfaceKind::Loopback);
         let IfaceKind::Cab(mut cab) = kind else {
+            // lint: allow(panic-hot-path, caller contract - with_cab is only invoked on ifaces routed as CABs)
             panic!("iface {iface:?} is not a CAB");
         };
         let r = f(self, &mut cab);
@@ -399,7 +418,7 @@ impl Kernel {
             return Err(StackError::AddrInUse);
         }
         self.ports.insert((proto, port), sock);
-        let s = self.sockets.get_mut(&sock).unwrap();
+        let s = self.sock_mut(sock);
         s.local = Some(SockAddr::new(Ipv4Addr::UNSPECIFIED, port));
         Ok(())
     }
@@ -549,19 +568,19 @@ impl Kernel {
             Some(l) => {
                 // Bound port, unspecified address: fill in per route.
                 let local = SockAddr::new(local_ip, l.port);
-                self.sockets.get_mut(&sock).unwrap().local = Some(local);
+                self.sock_mut(sock).local = Some(local);
                 local
             }
             None => {
                 let port = self.alloc_port(Proto::Udp);
                 let local = SockAddr::new(local_ip, port);
-                self.sockets.get_mut(&sock).unwrap().local = Some(local);
+                self.sock_mut(sock).local = Some(local);
                 self.ports.insert((Proto::Udp, port), sock);
                 local
             }
         };
         {
-            let s = self.sockets.get_mut(&sock).unwrap();
+            let s = self.sock_mut(sock);
             s.iface_hint = Some(iface_id);
             s.remote = Some(dst);
         }
@@ -617,7 +636,7 @@ impl Kernel {
             .unwrap_or(false);
         if has_tcb {
             let closed = {
-                let s = self.sockets.get_mut(&sock).unwrap();
+                let s = self.sock_mut(sock);
                 let tcb = s.tcb.as_mut().unwrap();
                 tcb.close();
                 tcb.state == TcpState::Closed
@@ -683,7 +702,7 @@ impl Kernel {
             None
         };
         {
-            let s = self.sockets.get_mut(&sock).unwrap();
+            let s = self.sock_mut(sock);
             s.blocked_write = Some(BlockedWrite {
                 task,
                 region,
@@ -696,7 +715,7 @@ impl Kernel {
         self.append_write_chunks(sock, mem, Charge::Syscall, now);
         self.tcp_send(sock, mem, now, false);
 
-        let s = self.sockets.get_mut(&sock).unwrap();
+        let s = self.sock_mut(sock);
         // The legacy conversion layer may have completed the write
         // synchronously (UIO data copied at the driver boundary, counter
         // drained, blocked_write cleared).
@@ -783,22 +802,24 @@ impl Kernel {
                 self.cpu_dur(cost, charge);
                 let (mut buf, ticket) = self.cluster_alloc(fix);
                 mem.read_user(bw.region.task, cur_addr, &mut buf)
+                    // lint: allow(panic-hot-path, syscall-time access to the caller's live buffer; zero-fill fault tolerance applies only at DMA time)
                     .expect("user write buffer readable");
                 let m = Mbuf::kernel(self.cluster_freeze(buf, ticket));
                 self.mbuf_stats.count(&m);
-                self.sockets.get_mut(&sock).unwrap().so_snd.chain.append(m);
+                self.sock_mut(sock).so_snd.chain.append(m);
                 // The copy satisfies copy semantics for these bytes now.
                 if let Some(c) = bw.counter {
-                    self.uio.issue(c, fix).expect("live counter");
+                    self.uio_issue(c, fix);
                     if let Some(st) = self.uio.complete(c, fix) {
                         // A sub-word write drained entirely via the copy.
-                        let s = self.sockets.get_mut(&sock).unwrap();
+                        let s = self.sock_mut(sock);
                         s.blocked_write = None;
                         self.wake(st.task, st.sock, charge);
                         return;
                     }
                 }
-                let s = self.sockets.get_mut(&sock).unwrap();
+                let s = self.sock_mut(sock);
+                // lint: allow(panic-hot-path, blocked_write installed at sys_write entry; only completion clears it, which returned above)
                 s.blocked_write.as_mut().unwrap().appended += fix;
                 // Flush the fragment as its own short packet (the paper:
                 // "send a first packet of 16 bits") so every subsequent
@@ -819,11 +840,11 @@ impl Kernel {
                     counter: bw.counter,
                 };
                 if let Some(c) = bw.counter {
-                    self.uio.issue(c, chunk).expect("live counter");
+                    self.uio_issue(c, chunk);
                 }
                 let m = Mbuf::uio(desc);
                 self.mbuf_stats.count(&m);
-                self.sockets.get_mut(&sock).unwrap().so_snd.chain.append(m);
+                self.sock_mut(sock).so_snd.chain.append(m);
             } else {
                 // Traditional path: copy through kernel buffers.
                 let cost = self.memsys.copy_cost(chunk, bw.total.max(chunk));
@@ -834,12 +855,14 @@ impl Kernel {
                     bw.region.base + bw.appended as u64,
                     &mut buf,
                 )
+                // lint: allow(panic-hot-path, syscall-time access to the caller's live buffer; zero-fill fault tolerance applies only at DMA time)
                 .expect("user write buffer readable");
                 let m = Mbuf::kernel(self.cluster_freeze(buf, ticket));
                 self.mbuf_stats.count(&m);
-                self.sockets.get_mut(&sock).unwrap().so_snd.chain.append(m);
+                self.sock_mut(sock).so_snd.chain.append(m);
             }
-            let s = self.sockets.get_mut(&sock).unwrap();
+            let s = self.sock_mut(sock);
+            // lint: allow(panic-hot-path, blocked_write installed at sys_write entry; only completion clears it, which returned above)
             s.blocked_write.as_mut().unwrap().appended += chunk;
         }
     }
@@ -869,20 +892,27 @@ impl Kernel {
             }
             match s.proto {
                 Proto::Udp => {
-                    let (dlen, _) = *s.dgram_bounds.front().expect("bounds track chain");
-                    let take = dlen.min(len).min(s.so_rcv.len());
-                    let (dlen_mut, _) = s.dgram_bounds.front_mut().unwrap();
-                    *dlen_mut -= take;
-                    if *dlen_mut == 0 {
-                        s.dgram_bounds.pop_front();
+                    let so_rcv_len = s.so_rcv.len();
+                    match s.dgram_bounds.front_mut() {
+                        Some((dlen_mut, _)) => {
+                            let take = (*dlen_mut).min(len).min(so_rcv_len);
+                            *dlen_mut -= take;
+                            if *dlen_mut == 0 {
+                                s.dgram_bounds.pop_front();
+                            }
+                            take
+                        }
+                        // Defensive: bounds track the chain one-to-one, so a
+                        // non-empty buffer always has a front bound; drain
+                        // what is queued if the invariant ever slips.
+                        None => so_rcv_len.min(len),
                     }
-                    take
                 }
                 Proto::Tcp => s.so_rcv.len().min(len),
             }
         };
         let chunk = {
-            let s = self.sockets.get_mut(&sock).unwrap();
+            let s = self.sock_mut(sock);
             s.so_rcv.chain.split_front(take)
         };
         self.spans
@@ -897,6 +927,7 @@ impl Kernel {
                     let cost = self.memsys.copy_cost(b.len(), take);
                     self.cpu_dur(cost, Charge::Syscall);
                     mem.write_user(task, vaddr + dst_off as u64, b)
+                        // lint: allow(panic-hot-path, syscall-time access to the caller's live buffer; zero-fill fault tolerance applies only at DMA time)
                         .expect("user read buffer writable");
                 }
                 MbufData::Wcab(d) => {
@@ -911,6 +942,7 @@ impl Kernel {
                     }
                     self.issue_rx_copyout(sock, *d, task, user_dst, aligned, mem, now);
                 }
+                // lint: allow(panic-hot-path, receive chains hold only kernel or WCAB mbufs; M_UIO exists solely on send queues)
                 MbufData::Uio(_) => unreachable!("M_UIO never appears in so_rcv"),
             }
             self.cpu(self.machine.cost_socket_pkt_us, Charge::Syscall);
@@ -921,8 +953,8 @@ impl Kernel {
 
         if dma_bytes > 0 {
             let counter = self.uio.create(task, sock, dma_bytes);
-            self.uio.issue(counter, dma_bytes).unwrap();
-            let s = self.sockets.get_mut(&sock).unwrap();
+            self.uio_issue(counter, dma_bytes);
+            let s = self.sock_mut(sock);
             s.blocked_read = Some(BlockedRead {
                 task,
                 bytes: take,
@@ -1046,7 +1078,7 @@ impl Kernel {
                 let port = self.alloc_port(Proto::Udp);
                 let iface_id = self.routes.lookup(dst.ip).ok_or(StackError::NoRoute)?;
                 let local = SockAddr::new(self.ifaces[iface_id.0 as usize].ip, port);
-                let s = self.sockets.get_mut(&sock).unwrap();
+                let s = self.sock_mut(sock);
                 s.local = Some(local);
                 self.ports.insert((Proto::Udp, port), sock);
                 local
@@ -1200,7 +1232,7 @@ impl Kernel {
         let mut chain = Chain::new();
         let counter = if uio_path {
             let counter = self.uio.create(task, sock, len);
-            self.uio.issue(counter, len).unwrap();
+            self.uio_issue(counter, len);
             let cost = self.vm.prepare(task, vaddr, len);
             self.cpu_dur(cost, Charge::Syscall);
             chain.append(Mbuf::uio(UioDesc {
@@ -1214,6 +1246,7 @@ impl Kernel {
             let cost = self.memsys.copy_cost(len, len.max(4096));
             self.cpu_dur(cost, Charge::Syscall);
             let (mut buf, ticket) = self.cluster_alloc(len);
+            // lint: allow(panic-hot-path, syscall-time access to the caller's live buffer; zero-fill fault tolerance applies only at DMA time)
             mem.read_user(task, vaddr, &mut buf).expect("readable");
             chain.append(Mbuf::kernel(self.cluster_freeze(buf, ticket)));
             None
@@ -1224,7 +1257,7 @@ impl Kernel {
         // synchronously (route fell back to a conventional device).
         let still_live = counter.map(|c| self.uio.get(c).is_some()).unwrap_or(false);
         if let (Some(counter), true) = (counter, still_live) {
-            let s = self.sockets.get_mut(&sock).unwrap();
+            let s = self.sock_mut(sock);
             s.blocked_write = Some(BlockedWrite {
                 task,
                 region,

@@ -553,10 +553,10 @@ impl Tcb {
     }
 
     fn update_rtt(&mut self, sample: Dur) {
-        match self.srtt {
+        let srtt = match self.srtt {
             None => {
-                self.srtt = Some(sample);
                 self.rttvar = sample / 2;
+                sample
             }
             Some(srtt) => {
                 // RFC 6298 with alpha=1/8, beta=1/4 in integer arithmetic.
@@ -566,10 +566,10 @@ impl Tcb {
                     srtt - sample
                 };
                 self.rttvar = Dur::nanos((self.rttvar.as_nanos() * 3 + delta.as_nanos()) / 4);
-                self.srtt = Some(Dur::nanos((srtt.as_nanos() * 7 + sample.as_nanos()) / 8));
+                Dur::nanos((srtt.as_nanos() * 7 + sample.as_nanos()) / 8)
             }
-        }
-        let srtt = self.srtt.unwrap();
+        };
+        self.srtt = Some(srtt);
         self.rto = (srtt + self.rttvar * 4).max(self.cfg_rto_min);
         self.rexmt_backoff = 0;
     }
@@ -853,11 +853,12 @@ impl Tcb {
                     self.rcv_nxt = self.rcv_nxt.wrapping_add(data.len() as u32);
                     r.deliver.push(data);
                     // Pull contiguous reassembled segments.
-                    while let Some((&s, _)) = self.reass.first_key_value() {
+                    while let Some((s, mut c)) = self.reass.pop_first() {
                         if seq::gt(s, self.rcv_nxt) {
+                            // Not contiguous yet; keep it queued.
+                            self.reass.insert(s, c);
                             break;
                         }
-                        let (s, mut c) = self.reass.pop_first().unwrap();
                         let dup = seq::diff(self.rcv_nxt, s) as usize;
                         if dup >= c.len() {
                             continue;

@@ -112,7 +112,13 @@ impl UserMemory for HostMem {
 
     fn write_user(&mut self, task: TaskId, vaddr: u64, src: &[u8]) -> Result<(), MemFault> {
         let (off, end) = self.slice_of(task, vaddr, src.len())?;
-        self.regions.get_mut(&task).unwrap().data[off..end].copy_from_slice(src);
+        let fault = MemFault {
+            task,
+            vaddr,
+            len: src.len(),
+        };
+        let region = self.regions.get_mut(&task).ok_or(fault)?;
+        region.data[off..end].copy_from_slice(src);
         Ok(())
     }
 }

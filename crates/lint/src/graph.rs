@@ -1,0 +1,989 @@
+//! Workspace symbol table, call graph, and hot-path reachability.
+//!
+//! PR 4's rules scoped themselves with a hard-coded file list, which meant
+//! any refactor that moved hot-path code into a new module silently escaped
+//! every rule. This module derives the hot-path set instead: it indexes
+//! every `fn` in the workspace (via [`crate::lexer::index_items`]), extracts
+//! call sites from the masked token stream, resolves them to candidate
+//! callees, and computes the transitive closure from a declared root set
+//! (`sys_write`, `rx_interrupt`, the retry/watchdog entry points, …).
+//!
+//! Resolution is deliberately **conservative**: where the name-based
+//! analysis cannot tell which of several same-named functions is called, it
+//! adds edges to *all* of them. Over-approximation widens the checked set
+//! (a finding too many needs a pragma with a reason); under-approximation
+//! would silently exempt real hot-path code. The precise cases:
+//!
+//! * `self.m(…)` resolves to `m` on the enclosing `impl` type when that
+//!   type has one, otherwise to every method named `m`;
+//! * `x.m(…)` resolves to every method named `m` (receiver types are not
+//!   inferred), falling back to any fn named `m`;
+//! * `Q::f(…)` resolves through `use` renames, then to fns whose self type
+//!   or enclosing module is `Q`, falling back to any fn named `f`;
+//! * `f(…)` prefers local fns (innermost shadowing declaration wins), then
+//!   `use`-imported paths, then same-file, same-crate, and finally any free
+//!   fn named `f`;
+//! * calls through `use std::… ` imports resolve to nothing (std is not in
+//!   the graph) rather than to a same-named workspace fn.
+//!
+//! `#[test]` / `#[cfg(test)]` functions are indexed but excluded from the
+//! graph: they neither contribute edges nor appear in the reachable set.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt::Write as _;
+
+use crate::lexer::{FileIndex, LexedFile};
+
+/// Index into [`Graph::fns`].
+pub type FnId = usize;
+
+/// One file fed to the graph builder.
+pub struct FileRecord {
+    /// Workspace-relative path, forward slashes.
+    pub rel: String,
+    /// Raw source text.
+    pub raw: String,
+    /// Masked/lexed view.
+    pub lex: LexedFile,
+    /// Item index for the file.
+    pub index: FileIndex,
+}
+
+impl FileRecord {
+    /// Lex and index `src` as workspace-relative file `rel`.
+    pub fn new(rel: &str, src: &str) -> FileRecord {
+        let lex = crate::lexer::lex(src);
+        let index = crate::lexer::index_items(&lex);
+        FileRecord {
+            rel: rel.to_string(),
+            raw: src.to_string(),
+            lex,
+            index,
+        }
+    }
+}
+
+/// One function in the workspace graph.
+#[derive(Clone, Debug)]
+pub struct FnNode {
+    /// Bare name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name, for methods.
+    pub self_ty: Option<String>,
+    /// Module path: crate name, then file path segments, then in-file mods.
+    pub module: Vec<String>,
+    /// Index into the builder's file list.
+    pub file_idx: usize,
+    /// Workspace-relative path of the declaring file.
+    pub file: String,
+    /// 1-indexed line of the `fn` keyword.
+    pub line: usize,
+    /// Byte range of the body in the file, when present.
+    pub body: Option<(usize, usize)>,
+    /// Enclosing fn for local `fn` items.
+    pub parent: Option<FnId>,
+    /// In a `#[test]`/`#[cfg(test)]` region (excluded from the graph).
+    pub is_test: bool,
+    /// First parameter is a `self` receiver.
+    pub has_self: bool,
+}
+
+impl FnNode {
+    /// Display name: `Type::name` or `module::name`.
+    pub fn qualified(&self) -> String {
+        match &self.self_ty {
+            Some(t) => format!("{t}::{}", self.name),
+            None => match self.module.last() {
+                Some(m) => format!("{m}::{}", self.name),
+                None => self.name.clone(),
+            },
+        }
+    }
+}
+
+/// A parsed root spec: `name` or `Type::name`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RootSpec {
+    /// Optional `Type::` / `module::` qualifier.
+    pub qualifier: Option<String>,
+    /// Function name.
+    pub name: String,
+}
+
+impl RootSpec {
+    /// Parse `"name"` or `"Qualifier::name"`.
+    pub fn parse(s: &str) -> RootSpec {
+        match s.rsplit_once("::") {
+            Some((q, n)) => RootSpec {
+                qualifier: Some(q.to_string()),
+                name: n.to_string(),
+            },
+            None => RootSpec {
+                qualifier: None,
+                name: s.to_string(),
+            },
+        }
+    }
+}
+
+/// The default hot-path root set: syscall entries, interrupt/completion
+/// handlers, the TX emission path, the robustness layer's retry/watchdog
+/// timers, and the netsim frame path (whose per-frame storage the
+/// `payload-alloc` rule polices).
+pub const DEFAULT_ROOTS: &[&str] = &[
+    "sys_write",
+    "sys_read",
+    "rx_interrupt",
+    "frame_arrive",
+    "emit_tcp_segment",
+    "cab_output",
+    "sdma_done",
+    "cab_retry_fire",
+    "cab_watchdog_fire",
+    "cab_board_crash",
+    "Link::transmit",
+    "FaultInjector::fate",
+];
+
+/// Identifiers that look like calls but are not (`if (…)`, `return (…)`).
+const NON_CALL_WORDS: &[&str] = &[
+    "if", "else", "while", "for", "match", "loop", "return", "break", "continue", "as", "in",
+    "let", "mut", "ref", "move", "unsafe", "fn", "impl", "use", "pub", "where", "struct", "enum",
+    "union", "type", "trait", "mod", "const", "static", "crate", "super", "dyn", "box", "await",
+];
+
+/// The workspace call graph.
+pub struct Graph {
+    /// Every indexed fn (including test fns, which carry no edges).
+    pub fns: Vec<FnNode>,
+    /// Callee sets, indexed by caller [`FnId`].
+    pub edges: Vec<BTreeSet<FnId>>,
+    /// Name → fn ids (non-test only).
+    by_name: BTreeMap<String, Vec<FnId>>,
+    /// Per-file `use` aliases: local name → path segments.
+    file_uses: Vec<BTreeMap<String, Vec<String>>>,
+    /// rel path per file index.
+    files: Vec<String>,
+}
+
+/// Module path for a workspace-relative file path:
+/// `crates/core/src/kernel/input.rs` → `["core", "kernel", "input"]`.
+fn file_module_path(rel: &str) -> Vec<String> {
+    let mut segs: Vec<&str> = rel.split('/').collect();
+    let mut out = Vec::new();
+    if segs.first() == Some(&"crates") && segs.len() >= 3 {
+        out.push(segs[1].to_string());
+        segs.drain(..3); // crates/<name>/src
+    } else if segs.first() == Some(&"src") {
+        out.push("outboard".to_string());
+        segs.drain(..1);
+    }
+    for (i, seg) in segs.iter().enumerate() {
+        let last = i + 1 == segs.len();
+        let seg = if last {
+            seg.strip_suffix(".rs").unwrap_or(seg)
+        } else {
+            seg
+        };
+        if last && (seg == "lib" || seg == "main" || seg == "mod") {
+            continue;
+        }
+        out.push(seg.to_string());
+    }
+    out
+}
+
+fn is_ident_b(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// A call site extracted from a fn body.
+#[derive(Debug)]
+enum CallKind {
+    /// `self.name(…)`.
+    SelfMethod,
+    /// `expr.name(…)`.
+    Method,
+    /// `Qual::name(…)`, qualifier is the last path segment before the name;
+    /// `path` holds every segment read (for `use`-alias resolution).
+    Qualified { path: Vec<String> },
+    /// `name(…)`.
+    Free,
+}
+
+#[derive(Debug)]
+struct CallSite {
+    name: String,
+    kind: CallKind,
+}
+
+impl Graph {
+    /// Build the graph over a set of lexed files.
+    pub fn build(files: &[FileRecord]) -> Graph {
+        let mut g = Graph {
+            fns: Vec::new(),
+            edges: Vec::new(),
+            by_name: BTreeMap::new(),
+            file_uses: Vec::new(),
+            files: files.iter().map(|f| f.rel.clone()).collect(),
+        };
+        // Pass 1: symbol table.
+        for (file_idx, f) in files.iter().enumerate() {
+            let base = file_module_path(&f.rel);
+            let id_base = g.fns.len();
+            for d in &f.index.fns {
+                let mut module = base.clone();
+                module.extend(d.module.iter().cloned());
+                g.fns.push(FnNode {
+                    name: d.name.clone(),
+                    self_ty: d.self_ty.clone(),
+                    module,
+                    file_idx,
+                    file: f.rel.clone(),
+                    line: d.line,
+                    body: d.body,
+                    parent: d.parent.map(|p| id_base + p),
+                    is_test: d.is_test,
+                    has_self: d.has_self,
+                });
+            }
+            let mut uses = BTreeMap::new();
+            for u in &f.index.uses {
+                uses.insert(u.local.clone(), u.path.clone());
+            }
+            g.file_uses.push(uses);
+        }
+        for (id, n) in g.fns.iter().enumerate() {
+            if !n.is_test {
+                g.by_name.entry(n.name.clone()).or_default().push(id);
+            }
+        }
+        // Pass 2: call extraction + resolution.
+        g.edges = vec![BTreeSet::new(); g.fns.len()];
+        for caller in 0..g.fns.len() {
+            if g.fns[caller].is_test {
+                continue;
+            }
+            let Some((start, end)) = g.fns[caller].body else {
+                continue;
+            };
+            let file = &files[g.fns[caller].file_idx];
+            // Exclude the bodies of directly nested local fns: their calls
+            // belong to them, not to the enclosing fn.
+            let holes: Vec<(usize, usize)> = g
+                .fns
+                .iter()
+                .filter(|c| c.parent == Some(caller))
+                .filter_map(|c| c.body)
+                .collect();
+            let masked = file.lex.masked.as_bytes();
+            for site in extract_calls(masked, start, end, &holes) {
+                for callee in g.resolve(caller, &site) {
+                    if !g.fns[callee].is_test {
+                        g.edges[caller].insert(callee);
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    /// All non-test fns matching a root spec.
+    pub fn resolve_roots(&self, specs: &[RootSpec]) -> Vec<FnId> {
+        let mut out = Vec::new();
+        for spec in specs {
+            if let Some(ids) = self.by_name.get(&spec.name) {
+                for &id in ids {
+                    let n = &self.fns[id];
+                    let ok = match &spec.qualifier {
+                        None => true,
+                        Some(q) => {
+                            n.self_ty.as_deref() == Some(q.as_str())
+                                || n.module.last().map(String::as_str) == Some(q.as_str())
+                        }
+                    };
+                    if ok {
+                        out.push(id);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// BFS from `roots`; returns reached fn → BFS parent (`None` for a
+    /// root). Deterministic: ids are visited in ascending order per level.
+    pub fn reachable(&self, roots: &[FnId]) -> BTreeMap<FnId, Option<FnId>> {
+        reachable_in(&self.edges, roots)
+    }
+
+    /// Witness chain root → … → `id`, as fn ids.
+    pub fn chain(&self, reach: &BTreeMap<FnId, Option<FnId>>, id: FnId) -> Vec<FnId> {
+        let mut chain = vec![id];
+        let mut cur = id;
+        while let Some(Some(parent)) = reach.get(&cur) {
+            chain.push(*parent);
+            cur = *parent;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Innermost fn whose body contains byte `pos` in file `file_idx`.
+    pub fn enclosing_fn(&self, file_idx: usize, pos: usize) -> Option<FnId> {
+        let mut best: Option<(usize, FnId)> = None; // (body size, id)
+        for (id, n) in self.fns.iter().enumerate() {
+            if n.file_idx != file_idx {
+                continue;
+            }
+            if let Some((s, e)) = n.body {
+                if s <= pos && pos < e {
+                    let size = e - s;
+                    if best.is_none_or(|(bs, _)| size < bs) {
+                        best = Some((size, id));
+                    }
+                }
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+
+    /// Display name for a fn: local fns are qualified by their enclosing
+    /// fn (`sys_write::helper`), methods by their type, free fns by their
+    /// module.
+    pub fn qualified_name(&self, id: FnId) -> String {
+        let n = &self.fns[id];
+        match n.parent {
+            Some(p) => format!("{}::{}", self.fns[p].name, n.name),
+            None => n.qualified(),
+        }
+    }
+
+    /// Resolve one call site to candidate callees (may be empty).
+    fn resolve(&self, caller: FnId, site: &CallSite) -> Vec<FnId> {
+        let empty = Vec::new();
+        let ids = self.by_name.get(&site.name).unwrap_or(&empty);
+        if ids.is_empty() {
+            return Vec::new();
+        }
+        let caller_node = &self.fns[caller];
+        let uses = &self.file_uses[caller_node.file_idx];
+        match &site.kind {
+            CallKind::SelfMethod => {
+                if let Some(ty) = &caller_node.self_ty {
+                    let own: Vec<FnId> = ids
+                        .iter()
+                        .copied()
+                        .filter(|&id| self.fns[id].self_ty.as_ref() == Some(ty))
+                        .collect();
+                    if !own.is_empty() {
+                        return own;
+                    }
+                }
+                self.method_candidates(ids)
+            }
+            CallKind::Method => self.method_candidates(ids),
+            CallKind::Qualified { path } => {
+                let Some(qual) = path.last() else {
+                    return ids.clone();
+                };
+                if qual == "Self" {
+                    if let Some(ty) = &caller_node.self_ty {
+                        let own: Vec<FnId> = ids
+                            .iter()
+                            .copied()
+                            .filter(|&id| self.fns[id].self_ty.as_ref() == Some(ty))
+                            .collect();
+                        if !own.is_empty() {
+                            return own;
+                        }
+                    }
+                    return self.method_candidates(ids);
+                }
+                // Resolve the qualifier through `use` renames; a path that
+                // resolves into std/core/alloc is external — no edges.
+                let resolved_last = match uses.get(qual) {
+                    Some(full) if is_external_path(full) => return Vec::new(),
+                    Some(full) => full.last().cloned().unwrap_or_else(|| qual.clone()),
+                    None => {
+                        if path.len() > 1 && is_external_path(path) {
+                            return Vec::new();
+                        }
+                        qual.clone()
+                    }
+                };
+                let matched: Vec<FnId> = ids
+                    .iter()
+                    .copied()
+                    .filter(|&id| {
+                        let n = &self.fns[id];
+                        n.self_ty.as_deref() == Some(resolved_last.as_str())
+                            || (n.self_ty.is_none()
+                                && n.module.last().map(String::as_str)
+                                    == Some(resolved_last.as_str()))
+                    })
+                    .collect();
+                if !matched.is_empty() {
+                    return matched;
+                }
+                // The qualifier names its type/module explicitly; if the
+                // workspace defines no fn under it, the callee is external
+                // (`Box::new`, `String::from`, prelude types with no `use`
+                // line). Known under-approximations: type aliases used as
+                // qualifiers and `Trait::method(&x)` UFCS calls whose trait
+                // has no default body — both rare and documented in DESIGN.
+                Vec::new()
+            }
+            CallKind::Free => {
+                // Tier 1: local fns — innermost shadowing declaration wins.
+                let mut scope = Some(caller);
+                while let Some(anc) = scope {
+                    let local: Vec<FnId> = ids
+                        .iter()
+                        .copied()
+                        .filter(|&id| self.fns[id].parent == Some(anc))
+                        .collect();
+                    if !local.is_empty() {
+                        return local;
+                    }
+                    scope = self.fns[anc].parent;
+                }
+                // Tier 2: `use` imports. std paths resolve to nothing.
+                if let Some(full) = uses.get(&site.name) {
+                    if is_external_path(full) {
+                        return Vec::new();
+                    }
+                    let matched: Vec<FnId> = ids
+                        .iter()
+                        .copied()
+                        .filter(|&id| {
+                            let n = &self.fns[id];
+                            n.self_ty.is_none() && module_matches(&n.module, full)
+                        })
+                        .collect();
+                    if !matched.is_empty() {
+                        return matched;
+                    }
+                }
+                // Tier 3: free fns in the same file.
+                let same_file: Vec<FnId> = ids
+                    .iter()
+                    .copied()
+                    .filter(|&id| {
+                        let n = &self.fns[id];
+                        n.self_ty.is_none()
+                            && n.parent.is_none()
+                            && n.file_idx == caller_node.file_idx
+                    })
+                    .collect();
+                if !same_file.is_empty() {
+                    return same_file;
+                }
+                // Tier 4: free fns in the same crate.
+                let crate_seg = caller_node.module.first();
+                let same_crate: Vec<FnId> = ids
+                    .iter()
+                    .copied()
+                    .filter(|&id| {
+                        let n = &self.fns[id];
+                        n.self_ty.is_none() && n.parent.is_none() && n.module.first() == crate_seg
+                    })
+                    .collect();
+                if !same_crate.is_empty() {
+                    return same_crate;
+                }
+                // Tier 5: any free fn with the name.
+                ids.iter()
+                    .copied()
+                    .filter(|&id| self.fns[id].self_ty.is_none() && self.fns[id].parent.is_none())
+                    .collect()
+            }
+        }
+    }
+
+    fn method_candidates(&self, ids: &[FnId]) -> Vec<FnId> {
+        // A `.method()` call needs a receiver: the target must be a fn
+        // declared with a `self` parameter. Receiver-less associated fns
+        // (`Graph::build(recs)`) and free fns can never be its target, so
+        // when no receiver-taking candidate exists the callee is external
+        // (`.push(` on a Vec, iterator adapters, …) — no edges.
+        ids.iter()
+            .copied()
+            .filter(|&id| self.fns[id].self_ty.is_some() && self.fns[id].has_self)
+            .collect()
+    }
+
+    /// Deterministic debug listing: graph stats, resolved roots, and every
+    /// reachable fn with its BFS parent.
+    pub fn render(&self, roots: &[FnId], reach: &BTreeMap<FnId, Option<FnId>>) -> String {
+        let mut out = String::new();
+        let edge_count: usize = self.edges.iter().map(BTreeSet::len).sum();
+        let _ = writeln!(
+            out,
+            "call graph: {} fns ({} test-excluded), {} edges, {} roots, {} reachable",
+            self.fns.len(),
+            self.fns.iter().filter(|f| f.is_test).count(),
+            edge_count,
+            roots.len(),
+            reach.len(),
+        );
+        for &r in roots {
+            let n = &self.fns[r];
+            let _ = writeln!(
+                out,
+                "root {} ({}:{})",
+                self.qualified_name(r),
+                n.file,
+                n.line
+            );
+        }
+        let mut lines: Vec<String> = reach
+            .iter()
+            .map(|(&id, parent)| {
+                let n = &self.fns[id];
+                match parent {
+                    None => format!(
+                        "  {} ({}:{}) <root>",
+                        self.qualified_name(id),
+                        n.file,
+                        n.line
+                    ),
+                    Some(p) => format!(
+                        "  {} ({}:{}) <- {}",
+                        self.qualified_name(id),
+                        n.file,
+                        n.line,
+                        self.qualified_name(*p)
+                    ),
+                }
+            })
+            .collect();
+        lines.sort();
+        for l in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// rel path for a file index.
+    pub fn file_rel(&self, file_idx: usize) -> &str {
+        &self.files[file_idx]
+    }
+}
+
+/// Does a `use` path point outside the workspace (std & friends)?
+fn is_external_path(path: &[String]) -> bool {
+    matches!(
+        path.first().map(String::as_str),
+        Some("std") | Some("core") | Some("alloc")
+    )
+}
+
+/// Does module path `module` end with the trailing segments of `path`
+/// (ignoring the `crate`/leading-crate-name spelling differences)?
+fn module_matches(module: &[String], path: &[String]) -> bool {
+    // `path` names the item itself; its parent path must suffix-match the
+    // module. `use crate::kernel::frame_flow` → parent [crate, kernel].
+    let parent = &path[..path.len().saturating_sub(1)];
+    let parent: Vec<&String> = parent.iter().filter(|s| s.as_str() != "crate").collect();
+    if parent.is_empty() {
+        return true;
+    }
+    if parent.len() > module.len() {
+        return false;
+    }
+    module
+        .iter()
+        .rev()
+        .zip(parent.iter().rev())
+        .all(|(m, p)| m == *p)
+}
+
+/// Shared BFS used by [`Graph::reachable`] and the property tests: edge
+/// list → (reached → parent) map. Parents are the first (lowest-id-first,
+/// level-order) discoverer, so witness chains are deterministic and
+/// shortest.
+pub fn reachable_in(edges: &[BTreeSet<usize>], roots: &[usize]) -> BTreeMap<usize, Option<usize>> {
+    let mut reach: BTreeMap<usize, Option<usize>> = BTreeMap::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut sorted_roots: Vec<usize> = roots.to_vec();
+    sorted_roots.sort_unstable();
+    for r in sorted_roots {
+        if r < edges.len() && !reach.contains_key(&r) {
+            reach.insert(r, None);
+            queue.push_back(r);
+        }
+    }
+    while let Some(cur) = queue.pop_front() {
+        for &next in &edges[cur] {
+            if let std::collections::btree_map::Entry::Vacant(e) = reach.entry(next) {
+                e.insert(Some(cur));
+                queue.push_back(next);
+            }
+        }
+    }
+    reach
+}
+
+/// Extract call sites from `masked[start..end]`, skipping `holes` (nested
+/// local fn bodies).
+fn extract_calls(
+    masked: &[u8],
+    start: usize,
+    end: usize,
+    holes: &[(usize, usize)],
+) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    let mut i = start;
+    let end = end.min(masked.len());
+    'outer: while i < end {
+        for &(hs, he) in holes {
+            if hs <= i && i < he {
+                i = he;
+                continue 'outer;
+            }
+        }
+        let b = masked[i];
+        if !(b.is_ascii_alphabetic() || b == b'_') || (i > 0 && is_ident_b(masked[i - 1])) {
+            i += 1;
+            continue;
+        }
+        let word_start = i;
+        let mut j = i;
+        while j < end && is_ident_b(masked[j]) {
+            j += 1;
+        }
+        let word = std::str::from_utf8(&masked[word_start..j]).unwrap_or("");
+        i = j;
+        if NON_CALL_WORDS.contains(&word) {
+            continue;
+        }
+        // After the ident: optional turbofish, then `(` makes it a call;
+        // `!` makes it a macro (not a graph edge).
+        let mut k = j;
+        while k < end && masked[k].is_ascii_whitespace() {
+            k += 1;
+        }
+        if k + 2 < end && masked[k] == b':' && masked[k + 1] == b':' && masked[k + 2] == b'<' {
+            k = crate::lexer::skip_generics(masked, k + 2);
+            while k < end && masked[k].is_ascii_whitespace() {
+                k += 1;
+            }
+        }
+        if k >= end || masked[k] != b'(' {
+            continue;
+        }
+        // Look backward to classify.
+        let mut p = word_start;
+        while p > start && masked[p - 1].is_ascii_whitespace() {
+            p -= 1;
+        }
+        if p > start && masked[p - 1] == b'.' {
+            // Method call; is the receiver literally `self`?
+            let mut r = p - 1;
+            while r > start && masked[r - 1].is_ascii_whitespace() {
+                r -= 1;
+            }
+            let recv_end = r;
+            while r > start && is_ident_b(masked[r - 1]) {
+                r -= 1;
+            }
+            let recv = std::str::from_utf8(&masked[r..recv_end]).unwrap_or("");
+            let prev_ok = r == 0 || !is_ident_b(masked[r.saturating_sub(1)]);
+            let kind = if recv == "self" && prev_ok && (r == start || masked[r - 1] != b'.') {
+                CallKind::SelfMethod
+            } else {
+                CallKind::Method
+            };
+            out.push(CallSite {
+                name: word.to_string(),
+                kind,
+            });
+            continue;
+        }
+        if p > start + 1 && masked[p - 1] == b':' && masked[p - 2] == b':' {
+            // Qualified call: read the path backward.
+            let mut path_rev: Vec<String> = Vec::new();
+            let mut q = p - 2;
+            loop {
+                while q > start && masked[q - 1].is_ascii_whitespace() {
+                    q -= 1;
+                }
+                let seg_end = q;
+                while q > start && is_ident_b(masked[q - 1]) {
+                    q -= 1;
+                }
+                if q == seg_end {
+                    break; // `<T as Trait>::f` or similar — stop.
+                }
+                path_rev.push(
+                    std::str::from_utf8(&masked[q..seg_end])
+                        .unwrap_or("")
+                        .to_string(),
+                );
+                while q > start && masked[q - 1].is_ascii_whitespace() {
+                    q -= 1;
+                }
+                if q > start + 1 && masked[q - 1] == b':' && masked[q - 2] == b':' {
+                    q -= 2;
+                } else {
+                    break;
+                }
+            }
+            path_rev.reverse();
+            out.push(CallSite {
+                name: word.to_string(),
+                kind: CallKind::Qualified { path: path_rev },
+            });
+            continue;
+        }
+        out.push(CallSite {
+            name: word.to_string(),
+            kind: CallKind::Free,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_of(files: &[(&str, &str)]) -> Graph {
+        let recs: Vec<FileRecord> = files.iter().map(|(r, s)| FileRecord::new(r, s)).collect();
+        Graph::build(&recs)
+    }
+
+    fn specs(names: &[&str]) -> Vec<RootSpec> {
+        names.iter().map(|n| RootSpec::parse(n)).collect()
+    }
+
+    fn reach_names(g: &Graph, roots: &[&str]) -> Vec<String> {
+        let r = g.resolve_roots(&specs(roots));
+        let reach = g.reachable(&r);
+        let mut names: Vec<String> = reach.keys().map(|&id| g.qualified_name(id)).collect();
+        names.sort();
+        names
+    }
+
+    #[test]
+    fn cross_file_free_call_resolves() {
+        let g = graph_of(&[
+            (
+                "crates/core/src/kernel/output.rs",
+                "pub fn emit_tcp_segment() { crate::kernel::helpers::gather(); }\n",
+            ),
+            (
+                "crates/core/src/kernel/helpers.rs",
+                "pub fn gather() { deep(); }\nfn deep() {}\n",
+            ),
+        ]);
+        let names = reach_names(&g, &["emit_tcp_segment"]);
+        assert_eq!(
+            names,
+            vec![
+                "helpers::deep",
+                "helpers::gather",
+                "output::emit_tcp_segment"
+            ]
+        );
+    }
+
+    #[test]
+    fn self_method_prefers_own_impl() {
+        let g = graph_of(&[(
+            "crates/core/src/a.rs",
+            "struct A; struct B;\n\
+             impl A { pub fn sys_write(&self) { self.step() } fn step(&self) {} }\n\
+             impl B { fn step(&self) { hidden() } }\n\
+             fn hidden() {}\n",
+        )]);
+        // `self.step()` inside A::sys_write resolves to A::step only, so
+        // B::step and hidden() stay unreachable.
+        let names = reach_names(&g, &["sys_write"]);
+        assert_eq!(names, vec!["A::step", "A::sys_write"]);
+    }
+
+    #[test]
+    fn ambiguous_method_reaches_all_same_name_methods() {
+        let g = graph_of(&[(
+            "crates/core/src/a.rs",
+            "impl A { pub fn sys_write(&self, x: &B) { x.step() } }\n\
+             impl B { fn step(&self) {} }\n\
+             impl C { fn step(&self) {} }\n",
+        )]);
+        let names = reach_names(&g, &["sys_write"]);
+        assert_eq!(names, vec!["A::sys_write", "B::step", "C::step"]);
+    }
+
+    #[test]
+    fn shadowed_local_fn_wins() {
+        let g = graph_of(&[(
+            "crates/core/src/a.rs",
+            "fn helper() { global_only() }\nfn global_only() {}\n\
+             pub fn sys_write() {\n    fn helper() {}\n    helper();\n}\n",
+        )]);
+        // The local `helper` shadows the file-level one, so neither the
+        // file-level helper nor its callee is reachable.
+        let names = reach_names(&g, &["sys_write"]);
+        assert_eq!(names, vec!["a::sys_write", "sys_write::helper"]);
+    }
+
+    #[test]
+    fn calls_inside_closures_count() {
+        let g = graph_of(&[(
+            "crates/core/src/a.rs",
+            "pub fn sys_write(v: &[u32]) { v.iter().map(|x| twiddle(*x)).count(); }\n\
+             fn twiddle(x: u32) -> u32 { x }\n",
+        )]);
+        let names = reach_names(&g, &["sys_write"]);
+        assert_eq!(names, vec!["a::sys_write", "a::twiddle"]);
+    }
+
+    #[test]
+    fn cfg_test_fns_are_not_in_the_graph() {
+        let g = graph_of(&[(
+            "crates/core/src/a.rs",
+            "pub fn sys_write() {}\n#[cfg(test)]\nmod tests {\n    fn sys_write() { helper() }\n    fn helper() {}\n}\nfn helper() {}\n",
+        )]);
+        // Only the non-test sys_write roots; the test module's call to
+        // helper adds no edge, so the file-level helper stays unreachable.
+        let names = reach_names(&g, &["sys_write"]);
+        assert_eq!(names, vec!["a::sys_write"]);
+    }
+
+    #[test]
+    fn std_imports_resolve_to_nothing() {
+        let g = graph_of(&[(
+            "crates/core/src/a.rs",
+            "use std::mem::take;\npub fn sys_write(x: &mut Vec<u32>) { take(x); }\nfn take(_x: &mut Vec<u32>) {}\n",
+        )]);
+        // `take` is imported from std, so the same-named workspace fn is
+        // not linked.
+        let names = reach_names(&g, &["sys_write"]);
+        assert_eq!(names, vec!["a::sys_write"]);
+    }
+
+    #[test]
+    fn qualified_call_via_use_rename() {
+        let g = graph_of(&[
+            (
+                "crates/core/src/a.rs",
+                "use crate::b::Widget as W;\npub fn sys_write() { W::poke(); }\n",
+            ),
+            (
+                "crates/core/src/b.rs",
+                "pub struct Widget;\nimpl Widget { pub fn poke() {} }\nimpl Gadget { pub fn poke() {} }\n",
+            ),
+        ]);
+        let names = reach_names(&g, &["sys_write"]);
+        assert_eq!(names, vec!["Widget::poke", "a::sys_write"]);
+    }
+
+    #[test]
+    fn qualified_root_spec_filters_by_type() {
+        let g = graph_of(&[(
+            "crates/netsim/src/link.rs",
+            "impl Link { pub fn transmit(&self) {} }\nimpl Other { pub fn transmit(&self) {} }\n",
+        )]);
+        let ids = g.resolve_roots(&specs(&["Link::transmit"]));
+        assert_eq!(ids.len(), 1);
+        assert_eq!(g.fns[ids[0]].self_ty.as_deref(), Some("Link"));
+    }
+
+    #[test]
+    fn chains_are_shortest_and_rooted() {
+        let g = graph_of(&[(
+            "crates/core/src/a.rs",
+            "pub fn sys_write() { mid(); deep(); }\nfn mid() { deep(); }\nfn deep() {}\n",
+        )]);
+        let roots = g.resolve_roots(&specs(&["sys_write"]));
+        let reach = g.reachable(&roots);
+        let deep = g
+            .fns
+            .iter()
+            .position(|f| f.name == "deep")
+            .expect("deep indexed");
+        let chain = g.chain(&reach, deep);
+        // Direct edge sys_write → deep wins over the longer route via mid.
+        assert_eq!(chain.len(), 2);
+        assert_eq!(g.fns[chain[0]].name, "sys_write");
+        assert_eq!(g.fns[chain[1]].name, "deep");
+    }
+
+    /// Build a plain edge list from (from, to) pairs over `n` nodes.
+    fn edge_list(n: usize, pairs: &[(usize, usize)]) -> Vec<BTreeSet<usize>> {
+        let mut edges = vec![BTreeSet::new(); n];
+        for &(a, b) in pairs {
+            edges[a % n].insert(b % n);
+        }
+        edges
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig {
+            cases: 128,
+            ..proptest::prelude::ProptestConfig::default()
+        })]
+
+        /// Reachability is monotone in the edge set: adding edges never
+        /// shrinks the reachable set (the safety property the conservative
+        /// resolver leans on — over-approximate edges can only widen the
+        /// checked hot-path set).
+        #[test]
+        fn reachability_is_monotone_in_the_edge_set(
+            pairs in proptest::collection::vec((0usize..12, 0usize..12), 0..40),
+            extra in proptest::collection::vec((0usize..12, 0usize..12), 0..12),
+            root in 0usize..12,
+        ) {
+            let base = edge_list(12, &pairs);
+            let mut all = pairs.clone();
+            all.extend_from_slice(&extra);
+            let bigger = edge_list(12, &all);
+            let r0: Vec<usize> = reachable_in(&base, &[root]).into_keys().collect();
+            let r1 = reachable_in(&bigger, &[root]);
+            for id in r0 {
+                proptest::prop_assert!(
+                    r1.contains_key(&id),
+                    "node {} reachable with fewer edges but not with more", id
+                );
+            }
+        }
+
+        /// Every reached node's parent chain terminates at a root, and
+        /// every hop follows a real edge — witness chains never fabricate
+        /// calls.
+        #[test]
+        fn witness_parents_follow_real_edges(
+            pairs in proptest::collection::vec((0usize..10, 0usize..10), 0..30),
+            root in 0usize..10,
+        ) {
+            let edges = edge_list(10, &pairs);
+            let reach = reachable_in(&edges, &[root]);
+            for (&id, &parent) in &reach {
+                match parent {
+                    None => proptest::prop_assert_eq!(id, root),
+                    Some(p) => {
+                        proptest::prop_assert!(edges[p].contains(&id));
+                        proptest::prop_assert!(reach.contains_key(&p));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enclosing_fn_picks_innermost() {
+        let recs = vec![FileRecord::new(
+            "crates/core/src/a.rs",
+            "fn outer() {\n    fn inner() { target(); }\n}\nfn target() {}\n",
+        )];
+        let g = Graph::build(&recs);
+        let pos = recs[0].raw.find("target()").unwrap();
+        let id = g.enclosing_fn(0, pos).unwrap();
+        assert_eq!(g.fns[id].name, "inner");
+    }
+}

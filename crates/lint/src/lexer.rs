@@ -456,6 +456,427 @@ fn item_end_after_attrs(b: &[u8], mut from: usize) -> usize {
     b.len()
 }
 
+// ---------------------------------------------------------------------------
+// Item indexing: functions, impl/trait/mod scopes, and `use` aliases.
+//
+// The call-graph layer needs to know *where functions live* (name, self
+// type, module path, body extent) and *what names are in scope* (`use`
+// renames). Like everything else in this crate it works on the masked view,
+// so braces inside strings or comments never unbalance the scope stack.
+// ---------------------------------------------------------------------------
+
+/// One `fn` item found in a file.
+#[derive(Clone, Debug)]
+pub struct FnDecl {
+    /// The function's bare name.
+    pub name: String,
+    /// Type (or trait) name of the innermost enclosing `impl`/`trait`
+    /// block, when the fn is a method / associated fn.
+    pub self_ty: Option<String>,
+    /// In-file module path (names of enclosing `mod` blocks, outermost
+    /// first). The file's own path supplies the crate-level prefix.
+    pub module: Vec<String>,
+    /// 1-indexed line of the `fn` keyword.
+    pub line: usize,
+    /// Byte offset of the `fn` keyword.
+    pub sig_start: usize,
+    /// Byte range of the `{ … }` body (exclusive end), when the fn has one
+    /// (trait-method declarations and `extern` items do not).
+    pub body: Option<(usize, usize)>,
+    /// Index (into the same `FileIndex::fns`) of the enclosing fn, for
+    /// local `fn` items declared inside another fn's body.
+    pub parent: Option<usize>,
+    /// True when the declaration sits in a `#[test]`/`#[cfg(test)]` region;
+    /// such fns are excluded from the call graph.
+    pub is_test: bool,
+    /// True when the first parameter is a `self` receiver (any of `self`,
+    /// `&self`, `&mut self`, `mut self`, `self: …`). Receiver-less
+    /// associated fns can never be the target of a `.method()` call.
+    pub has_self: bool,
+}
+
+/// A `use` rename visible in the file: local name → full path segments.
+#[derive(Clone, Debug)]
+pub struct UseAlias {
+    /// The name the item is known by locally (last segment or `as` alias).
+    pub local: String,
+    /// The imported path, one segment per element.
+    pub path: Vec<String>,
+}
+
+/// Per-file symbol index: every fn item plus `use` aliases.
+#[derive(Debug, Default)]
+pub struct FileIndex {
+    /// Functions in source order.
+    pub fns: Vec<FnDecl>,
+    /// `use` aliases in source order.
+    pub uses: Vec<UseAlias>,
+}
+
+/// Scope-stack entry while walking a file's items.
+#[derive(Debug)]
+enum Scope {
+    /// `mod name { … }`: in-file module.
+    Mod(String, usize),
+    /// `impl [Trait for] Type { … }` or `trait Name { … }`.
+    SelfTy(String, usize),
+    /// A fn body (index into `FileIndex::fns`, end offset).
+    Fn(usize, usize),
+}
+
+impl Scope {
+    fn end(&self) -> usize {
+        match *self {
+            Scope::Mod(_, e) | Scope::SelfTy(_, e) | Scope::Fn(_, e) => e,
+        }
+    }
+}
+
+/// Read the identifier starting at `i`, if any.
+fn ident_at(b: &[u8], i: usize) -> Option<&str> {
+    if i >= b.len() || !(b[i].is_ascii_alphabetic() || b[i] == b'_') {
+        return None;
+    }
+    let mut j = i;
+    while j < b.len() && is_ident(b[j]) {
+        j += 1;
+    }
+    std::str::from_utf8(&b[i..j]).ok()
+}
+
+fn skip_ws(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() && b[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+/// Skip a balanced `<…>` generics list starting at `from` (the `<`).
+/// Returns the index just past the closing `>`. `->` and comparison
+/// operators cannot appear in the positions we call this from (right after
+/// `impl`, a type path, or `::`), so plain depth counting suffices.
+pub(crate) fn skip_generics(b: &[u8], from: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = from;
+    while i < b.len() {
+        match b[i] {
+            b'<' => depth += 1,
+            b'>' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    b.len()
+}
+
+/// Extract the self-type name from an `impl` header: the last path segment
+/// of the implemented-for type (`impl Foo`, `impl<T> Trait for a::b::Foo<T>`
+/// → `Foo`).
+fn impl_self_ty(header: &str) -> Option<String> {
+    let hb = header.as_bytes();
+    // Prefer the text after a top-level ` for `; otherwise the whole header.
+    let mut depth = 0i32;
+    let mut for_at = None;
+    let mut k = 0usize;
+    while k < hb.len() {
+        match hb[k] {
+            b'<' | b'(' | b'[' => depth += 1,
+            b'>' | b')' | b']' => depth -= 1,
+            b'f' if depth == 0
+                && hb[k..].starts_with(b"for")
+                && (k == 0 || !is_ident(hb[k - 1]))
+                && (k + 3 >= hb.len() || !is_ident(hb[k + 3])) =>
+            {
+                for_at = Some(k + 3);
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    let ty_part = match for_at {
+        Some(at) => &header[at..],
+        None => {
+            // Strip leading generics: `impl<T: Bound> Type`.
+            let t = header.trim_start();
+            if t.starts_with('<') {
+                let past = skip_generics(t.as_bytes(), 0);
+                &t[past.min(t.len())..]
+            } else {
+                t
+            }
+        }
+    };
+    // Last identifier that starts a path segment, ignoring generic args:
+    // walk segments of the leading path.
+    let tb = ty_part.as_bytes();
+    let mut i = skip_ws(tb, 0);
+    // Skip leading `&`, `dyn`, `crate::` etc. by just scanning idents.
+    let mut last = None;
+    while i < tb.len() {
+        if let Some(id) = ident_at(tb, i) {
+            if id != "dyn" && id != "crate" && id != "super" && id != "self" {
+                last = Some(id.to_string());
+            }
+            i += id.len();
+            i = skip_ws(tb, i);
+            if i + 1 < tb.len() && tb[i] == b':' && tb[i + 1] == b':' {
+                i = skip_ws(tb, i + 2);
+                continue;
+            }
+            if i < tb.len() && tb[i] == b'<' {
+                break; // generic args of the final segment
+            }
+            break;
+        }
+        i += 1;
+    }
+    last
+}
+
+/// Parse the `use` tree starting after the `use` keyword; `prefix` carries
+/// the path segments accumulated so far. Flattens groups and records
+/// `as` renames.
+fn parse_use_tree(text: &str, prefix: &[String], out: &mut Vec<UseAlias>) {
+    let text = text.trim();
+    // Split off a group suffix: `a::b::{X, Y as Z}`.
+    if let Some(brace) = text.find('{') {
+        let head = text[..brace].trim().trim_end_matches("::");
+        let mut pre = prefix.to_vec();
+        for seg in head.split("::").filter(|s| !s.is_empty()) {
+            pre.push(seg.trim().to_string());
+        }
+        let inner = text[brace + 1..].rsplit_once('}').map_or("", |(i, _)| i);
+        // Split the group on top-level commas (nested groups are rare in
+        // this tree; handle one level of nesting by depth counting).
+        let mut depth = 0i32;
+        let mut start = 0usize;
+        let ib = inner.as_bytes();
+        for k in 0..=ib.len() {
+            let at_end = k == ib.len();
+            let c = if at_end { b',' } else { ib[k] };
+            match c {
+                b'{' if !at_end => depth += 1,
+                b'}' if !at_end => depth -= 1,
+                b',' if depth == 0 => {
+                    let part = &inner[start..k];
+                    if !part.trim().is_empty() {
+                        parse_use_tree(part, &pre, out);
+                    }
+                    start = k + 1;
+                }
+                _ => {}
+            }
+        }
+        return;
+    }
+    // Plain path, possibly with a rename: `a::b::C [as D]`.
+    let (path_part, alias) = match text.split_once(" as ") {
+        Some((p, a)) => (p.trim(), Some(a.trim().to_string())),
+        None => (text, None),
+    };
+    let mut path = prefix.to_vec();
+    for seg in path_part.split("::").filter(|s| !s.is_empty()) {
+        let seg = seg.trim();
+        if seg == "*" {
+            return; // glob: nothing nameable to record
+        }
+        path.push(seg.to_string());
+    }
+    let Some(last) = path.last().cloned() else {
+        return;
+    };
+    let local = alias.unwrap_or(last);
+    if local == "self" {
+        // `use a::b::{self}`: module imported under its own name.
+        path.pop();
+        if let Some(m) = path.last().cloned() {
+            out.push(UseAlias { local: m, path });
+        }
+        return;
+    }
+    out.push(UseAlias { local, path });
+}
+
+/// Index every `fn`, `impl`/`trait` scope, in-file `mod`, and `use` alias.
+pub fn index_items(lex: &LexedFile) -> FileIndex {
+    let b = lex.masked.as_bytes();
+    let mut idx = FileIndex::default();
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        while scopes.last().is_some_and(|s| s.end() <= i) {
+            scopes.pop();
+        }
+        let Some(word) = ident_at(b, i) else {
+            i += 1;
+            continue;
+        };
+        let word_start = i;
+        let after = i + word.len();
+        match word {
+            "mod" => {
+                let ni = skip_ws(b, after);
+                if let Some(name) = ident_at(b, ni) {
+                    let mut j = ni + name.len();
+                    j = skip_ws(b, j);
+                    if j < b.len() && b[j] == b'{' {
+                        let end = balanced(b, j, b'{', b'}').map_or(b.len(), |e| e + 1);
+                        scopes.push(Scope::Mod(name.to_string(), end));
+                        i = j + 1;
+                        continue;
+                    }
+                }
+                i = after;
+            }
+            "impl" => {
+                // Header runs to the opening `{` (skip leading generics so
+                // a `{` in a const-generic default cannot confuse us; none
+                // appear in this tree, but the skip is cheap).
+                let mut j = skip_ws(b, after);
+                if j < b.len() && b[j] == b'<' {
+                    j = skip_generics(b, j);
+                }
+                let header_start = j;
+                while j < b.len() && b[j] != b'{' && b[j] != b';' {
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'{' {
+                    let header = &lex.masked[header_start..j];
+                    let end = balanced(b, j, b'{', b'}').map_or(b.len(), |e| e + 1);
+                    if let Some(ty) = impl_self_ty(header) {
+                        scopes.push(Scope::SelfTy(ty, end));
+                    }
+                    i = j + 1;
+                    continue;
+                }
+                i = after;
+            }
+            "trait" => {
+                let ni = skip_ws(b, after);
+                if let Some(name) = ident_at(b, ni) {
+                    let mut j = ni + name.len();
+                    while j < b.len() && b[j] != b'{' && b[j] != b';' {
+                        j += 1;
+                    }
+                    if j < b.len() && b[j] == b'{' {
+                        let end = balanced(b, j, b'{', b'}').map_or(b.len(), |e| e + 1);
+                        scopes.push(Scope::SelfTy(name.to_string(), end));
+                        i = j + 1;
+                        continue;
+                    }
+                }
+                i = after;
+            }
+            "use" => {
+                let mut j = after;
+                while j < b.len() && b[j] != b';' {
+                    j += 1;
+                }
+                parse_use_tree(&lex.masked[after..j.min(b.len())], &[], &mut idx.uses);
+                i = j;
+            }
+            "fn" => {
+                let ni = skip_ws(b, after);
+                let Some(name) = ident_at(b, ni) else {
+                    // `fn(u32) -> u32` function-pointer type.
+                    i = after;
+                    continue;
+                };
+                // Signature runs to the body `{` or a `;` at paren depth 0
+                // (`where` clauses, return types, and default generic args
+                // contain no braces in this tree).
+                let mut j = ni + name.len();
+                let mut depth = 0usize;
+                while j < b.len() {
+                    match b[j] {
+                        b'(' | b'[' | b'<' => depth += 1,
+                        b')' | b']' | b'>' => depth = depth.saturating_sub(1),
+                        b'{' if depth == 0 => break,
+                        b';' if depth == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let body = if j < b.len() && b[j] == b'{' {
+                    let close = balanced(b, j, b'{', b'}').map_or(b.len(), |e| e + 1);
+                    Some((j, close))
+                } else {
+                    None
+                };
+                let line = lex.line_of(word_start);
+                let module = scopes
+                    .iter()
+                    .filter_map(|s| match s {
+                        Scope::Mod(m, _) => Some(m.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                let self_ty = scopes.iter().rev().find_map(|s| match s {
+                    Scope::SelfTy(t, _) => Some(t.clone()),
+                    _ => None,
+                });
+                let parent = scopes.iter().rev().find_map(|s| match s {
+                    Scope::Fn(id, _) => Some(*id),
+                    _ => None,
+                });
+                // Receiver check: first token inside the parameter parens,
+                // after `&`, a lifetime, and `mut`, must be `self`.
+                let has_self = {
+                    let mut k = skip_ws(b, ni + name.len());
+                    if k < b.len() && b[k] == b'<' {
+                        k = skip_generics(b, k);
+                        k = skip_ws(b, k);
+                    }
+                    if k < b.len() && b[k] == b'(' {
+                        let mut p = skip_ws(b, k + 1);
+                        if p < b.len() && b[p] == b'&' {
+                            p = skip_ws(b, p + 1);
+                        }
+                        if p < b.len() && b[p] == b'\'' {
+                            p += 1;
+                            while p < b.len() && is_ident(b[p]) {
+                                p += 1;
+                            }
+                            p = skip_ws(b, p);
+                        }
+                        if ident_at(b, p) == Some("mut") {
+                            p = skip_ws(b, p + 3);
+                        }
+                        ident_at(b, p) == Some("self")
+                    } else {
+                        false
+                    }
+                };
+                let fn_id = idx.fns.len();
+                idx.fns.push(FnDecl {
+                    name: name.to_string(),
+                    self_ty,
+                    module,
+                    line,
+                    sig_start: word_start,
+                    body,
+                    parent,
+                    is_test: lex.is_test_line(line),
+                    has_self,
+                });
+                if let Some((open, close)) = body {
+                    scopes.push(Scope::Fn(fn_id, close));
+                    i = open + 1;
+                } else {
+                    i = j;
+                }
+            }
+            _ => i = after,
+        }
+    }
+    idx
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -509,6 +930,70 @@ mod tests {
         let src = "#[cfg(not(test))]\nfn hot() { }\n";
         let lx = lex(src);
         assert!(!lx.is_test_line(2));
+    }
+
+    #[test]
+    fn item_index_sees_methods_and_modules() {
+        let src = "mod inner {\n    pub struct T;\n    impl T {\n        pub fn m(&self) {}\n    }\n}\nfn free() {}\nimpl fmt::Display for Wide<u32> {\n    fn fmt(&self) {}\n}\n";
+        let idx = index_items(&lex(src));
+        let names: Vec<_> = idx
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.self_ty.as_deref(), f.module.clone()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("m", Some("T"), vec!["inner".to_string()]),
+                ("free", None, vec![]),
+                ("fmt", Some("Wide"), vec![]),
+            ]
+        );
+    }
+
+    #[test]
+    fn item_index_tracks_local_fns_and_bodies() {
+        let src = "fn outer() {\n    fn local(x: u32) -> u32 { x }\n    local(1);\n}\n";
+        let idx = index_items(&lex(src));
+        assert_eq!(idx.fns.len(), 2);
+        assert_eq!(idx.fns[0].name, "outer");
+        assert_eq!(idx.fns[1].name, "local");
+        assert_eq!(idx.fns[1].parent, Some(0));
+        let (s, e) = idx.fns[0].body.unwrap();
+        let (ls, le) = idx.fns[1].body.unwrap();
+        assert!(s < ls && le < e, "local body nested in outer body");
+    }
+
+    #[test]
+    fn item_index_marks_test_fns() {
+        let src = "fn hot() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n";
+        let idx = index_items(&lex(src));
+        assert!(!idx.fns[0].is_test);
+        assert!(idx.fns[1].is_test);
+    }
+
+    #[test]
+    fn use_aliases_flatten_groups_and_renames() {
+        let src = "use std::collections::{BTreeMap, HashMap as Map};\nuse crate::kernel::output;\n";
+        let idx = index_items(&lex(src));
+        let by_local: Vec<_> = idx
+            .uses
+            .iter()
+            .map(|u| (u.local.as_str(), u.path.join("::")))
+            .collect();
+        assert!(by_local.contains(&("BTreeMap", "std::collections::BTreeMap".into())));
+        assert!(by_local.contains(&("Map", "std::collections::HashMap".into())));
+        assert!(by_local.contains(&("output", "crate::kernel::output".into())));
+    }
+
+    #[test]
+    fn trait_default_methods_get_the_trait_as_self_ty() {
+        let src = "trait Engine {\n    fn kind(&self) -> u8;\n    fn describe(&self) -> u8 { self.kind() }\n}\n";
+        let idx = index_items(&lex(src));
+        assert_eq!(idx.fns.len(), 2);
+        assert_eq!(idx.fns[0].self_ty.as_deref(), Some("Engine"));
+        assert!(idx.fns[0].body.is_none());
+        assert!(idx.fns[1].body.is_some());
     }
 
     #[test]

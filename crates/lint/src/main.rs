@@ -2,21 +2,37 @@
 //!
 //! ```text
 //! outboard-lint [--workspace] [--root PATH] [--deny-all] [--json PATH]
-//!               [--self-check] [--quiet]
+//!               [--sarif PATH] [--roots a,b,Type::c] [--no-graph]
+//!               [--graph] [--explain ID] [--self-check] [--quiet]
 //! ```
 //!
+//! Graph scoping is the default: `panic-hot-path`, `payload-alloc`, and
+//! `wallclock` fire in fns reachable from the declared entry points, and
+//! findings carry witness call chains. `--no-graph` restores the PR-4
+//! file-list scoping; `--graph` dumps the call graph and reachable set;
+//! `--explain rule@file:line` prints one finding's chain hop by hop (for
+//! use from CI failure logs); `--sarif` writes a SARIF 2.1.0 report.
+//!
 //! Exit codes: 0 clean (or findings without `--deny-all`), 1 findings with
-//! `--deny-all` or a failed self-check, 2 usage/IO error.
+//! `--deny-all`, a failed self-check, or an unknown `--explain` id;
+//! 2 usage/IO error.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+use outboard_lint::ScanOptions;
 
 struct Args {
     root: Option<PathBuf>,
     deny_all: bool,
     json: Option<PathBuf>,
+    sarif: Option<PathBuf>,
     self_check: bool,
     quiet: bool,
+    graph_dump: bool,
+    no_graph: bool,
+    roots: Vec<String>,
+    explain: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -24,8 +40,13 @@ fn parse_args() -> Result<Args, String> {
         root: None,
         deny_all: false,
         json: None,
+        sarif: None,
         self_check: false,
         quiet: false,
+        graph_dump: false,
+        no_graph: false,
+        roots: Vec::new(),
+        explain: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -36,9 +57,33 @@ fn parse_args() -> Result<Args, String> {
             "--deny-all" => args.deny_all = true,
             "--self-check" => args.self_check = true,
             "--quiet" => args.quiet = true,
+            "--graph" => args.graph_dump = true,
+            "--no-graph" => args.no_graph = true,
             "--json" => {
                 let path = it.next().ok_or("--json requires a path")?;
                 args.json = Some(PathBuf::from(path));
+            }
+            "--sarif" => {
+                let path = it.next().ok_or("--sarif requires a path")?;
+                args.sarif = Some(PathBuf::from(path));
+            }
+            "--roots" => {
+                let list = it.next().ok_or("--roots requires a comma-separated list")?;
+                args.roots = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect();
+                if args.roots.is_empty() {
+                    return Err("--roots requires at least one root spec".into());
+                }
+            }
+            "--explain" => {
+                let id = it
+                    .next()
+                    .ok_or("--explain requires a finding id (rule@file:line)")?;
+                args.explain = Some(id);
             }
             "--root" => {
                 let path = it.next().ok_or("--root requires a path")?;
@@ -46,6 +91,9 @@ fn parse_args() -> Result<Args, String> {
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
+    }
+    if args.no_graph && (args.graph_dump || !args.roots.is_empty()) {
+        return Err("--no-graph conflicts with --graph/--roots".into());
     }
     Ok(args)
 }
@@ -105,18 +153,66 @@ fn main() -> ExitCode {
         }
     };
 
-    let (files_scanned, findings) = match outboard_lint::scan_workspace(&root) {
-        Ok(r) => r,
+    let opts = ScanOptions {
+        graph: !args.no_graph,
+        roots: args.roots.clone(),
+    };
+
+    let inputs = match outboard_lint::workspace_inputs(&root) {
+        Ok(i) => i,
         Err(e) => {
             eprintln!("outboard-lint: scan failed: {e}");
             return ExitCode::from(2);
         }
     };
 
+    if args.graph_dump {
+        print!("{}", outboard_lint::graph_listing(&inputs, &opts));
+        return ExitCode::SUCCESS;
+    }
+
+    let files_scanned = inputs.len();
+    let findings = outboard_lint::scan_files(&inputs, &opts);
+
+    if let Some(id) = &args.explain {
+        return match findings.iter().find(|f| &f.id() == id) {
+            Some(f) => {
+                println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+                if !f.snippet.is_empty() {
+                    println!("    {}", f.snippet);
+                }
+                if f.chain.is_empty() {
+                    println!("    (no witness chain: rule is not reachability-scoped)");
+                } else {
+                    println!("    witness chain (root first):");
+                    for (i, h) in f.chain.iter().enumerate() {
+                        println!("      {i}. {} at {}:{}", h.name, h.file, h.line);
+                    }
+                }
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "outboard-lint: no finding with id `{id}` ({} findings in this scan; \
+                     ids look like rule@file:line)",
+                    findings.len()
+                );
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     if let Some(json_path) = &args.json {
         let json = outboard_lint::render_json(&root, files_scanned, &findings);
         if let Err(e) = std::fs::write(json_path, json) {
             eprintln!("outboard-lint: writing {}: {e}", json_path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(sarif_path) = &args.sarif {
+        let sarif = outboard_lint::render_sarif(&findings);
+        if let Err(e) = std::fs::write(sarif_path, sarif) {
+            eprintln!("outboard-lint: writing {}: {e}", sarif_path.display());
             return ExitCode::from(2);
         }
     }

@@ -1,13 +1,20 @@
 //! The rule registry.
 //!
-//! Every rule is a function from a lexed file to findings. Rules scope
-//! themselves by path, run over the masked view (so comments and string
-//! literals never trip them), and skip test regions. Suppression via
-//! `// lint: allow(rule, reason)` pragmas is applied by the caller in
-//! [`crate::scan_source`].
+//! Every rule is a function from a lexed file to findings. Rules run over
+//! the masked view (so comments and string literals never trip them) and
+//! skip test regions. Suppression via `// lint: allow(rule, reason)`
+//! pragmas is applied by the caller in [`crate::scan_files`].
+//!
+//! Scoping comes in two flavors. The legacy `FileList` scope is the PR-4
+//! behavior: `panic-hot-path`, `payload-alloc`, and `wallclock` fire on a
+//! hard-coded set of paths. The `Graph` scope replaces the path test with
+//! interprocedural reachability: a construct is hot iff its enclosing fn
+//! is reachable from a declared entry point in the workspace call graph
+//! (see [`crate::graph`]), and every finding carries the witness call
+//! chain that proves it.
 
-use crate::lexer::LexedFile;
-use crate::Finding;
+use crate::lexer::{FileIndex, LexedFile};
+use crate::{Finding, Hop};
 
 /// Names of every registered rule (pragmas naming anything else are
 /// themselves reported as `bad-pragma`).
@@ -19,12 +26,13 @@ pub const RULE_NAMES: &[&str] = &[
     "span-balance",
     "payload-alloc",
     "bad-pragma",
+    "stale-pragma",
 ];
 
-/// TX/RX hot-path modules where a panic would take down the whole host for
-/// a condition the driver is expected to survive (the fault-injection PR
-/// routed all of these through `CabError`).
-const HOT_PATH_FILES: &[&str] = &[
+/// TX/RX hot-path modules: the legacy (pre-call-graph) scope for
+/// `panic-hot-path`, and still the scope for `span-balance` (span pairing
+/// is a per-module discipline, not a reachability property).
+pub const HOT_PATH_FILES: &[&str] = &[
     "crates/core/src/kernel/output.rs",
     "crates/core/src/kernel/input.rs",
     "crates/core/src/kernel/robust.rs",
@@ -47,14 +55,14 @@ const SIM_FACING: &[&str] = &[
 
 /// Paths exempt from the wallclock rule: the bench harness may legitimately
 /// read wall time and environment (it measures the real machine), and the
-/// lint tool itself parses argv.
+/// lint tool itself parses argv. The exemption survives graph scoping
+/// because the conservative name-based call resolution can pull bench
+/// helpers into the reachable set through method-name collisions.
 const WALLCLOCK_EXEMPT: &[&str] = &["crates/bench/", "crates/lint/"];
 
-/// Frame/cluster payload hot paths: per-frame storage here must come from
-/// `sim::pool` (the steady-state transfer allocates nothing per frame), so
-/// a fresh `vec![…]` / `Vec::with_capacity` / `.to_vec()` is either a pool
-/// bypass or needs a `// lint: allow(payload-alloc, reason)` pragma
-/// explaining why the path is cold.
+/// Frame/cluster payload hot paths (legacy file-list scope): per-frame
+/// storage here must come from `sim::pool`. Under graph scoping the rule
+/// instead fires in any reachable fn inside these crates.
 const PAYLOAD_POOL_FILES: &[&str] = &[
     "crates/netsim/src/link.rs",
     "crates/netsim/src/fault.rs",
@@ -62,15 +70,65 @@ const PAYLOAD_POOL_FILES: &[&str] = &[
     "crates/mbuf/src/chain.rs",
 ];
 
+/// Crate prefixes whose reachable fns are in scope for `payload-alloc`
+/// under graph scoping (kernel-side allocation is legitimate; the pool
+/// discipline applies to frame/cluster payload storage).
+const PAYLOAD_CRATES: &[&str] = &["crates/netsim/", "crates/mbuf/"];
+
+/// Reachability scope for one file: the byte extents of every reachable fn
+/// body, each with the witness call chain (root first) that reaches it.
+/// Built by [`crate::scan_files`] from the workspace call graph.
+#[derive(Debug, Default)]
+pub struct FileScope {
+    /// `(body_start, body_end, chain)` per reachable fn, source order.
+    pub hot: Vec<(usize, usize, Vec<Hop>)>,
+}
+
+impl FileScope {
+    /// Witness chain for the innermost reachable fn body containing `pos`,
+    /// or `None` when `pos` is not on the hot path.
+    pub fn chain_at(&self, pos: usize) -> Option<&[Hop]> {
+        self.hot
+            .iter()
+            .filter(|&&(s, e, _)| s <= pos && pos < e)
+            .min_by_key(|&&(s, e, _)| e - s)
+            .map(|(_, _, c)| c.as_slice())
+    }
+}
+
+/// How the three hot-path rules decide what is hot.
+#[derive(Debug)]
+pub enum RuleScope<'a> {
+    /// Legacy PR-4 behavior: hard-coded file lists, no chains.
+    FileList,
+    /// Interprocedural: reachable fn extents for the file under scan.
+    Graph(&'a FileScope),
+}
+
 struct ScanCx<'a> {
     rel: &'a str,
     lex: &'a LexedFile,
+    index: &'a FileIndex,
     raw: &'a str,
+    scope: &'a RuleScope<'a>,
 }
 
-/// Run every rule over one file.
-pub fn run_all(rel: &str, raw: &str, lex: &LexedFile) -> Vec<Finding> {
-    let cx = ScanCx { rel, lex, raw };
+/// Run every per-file rule over one file. (`stale-pragma` is a
+/// workspace-level rule and lives in [`crate::scan_files`].)
+pub fn run_all(
+    rel: &str,
+    raw: &str,
+    lex: &LexedFile,
+    index: &FileIndex,
+    scope: &RuleScope<'_>,
+) -> Vec<Finding> {
+    let cx = ScanCx {
+        rel,
+        lex,
+        index,
+        raw,
+        scope,
+    };
     let mut findings = Vec::new();
     panic_hot_path(&cx, &mut findings);
     nondet_order(&cx, &mut findings);
@@ -135,6 +193,17 @@ fn snippet_at(cx: &ScanCx<'_>, line: usize) -> String {
 }
 
 fn push(cx: &ScanCx<'_>, out: &mut Vec<Finding>, rule: &'static str, pos: usize, message: String) {
+    push_chain(cx, out, rule, pos, message, Vec::new());
+}
+
+fn push_chain(
+    cx: &ScanCx<'_>,
+    out: &mut Vec<Finding>,
+    rule: &'static str,
+    pos: usize,
+    message: String,
+    chain: Vec<Hop>,
+) {
     let line = cx.lex.line_of(pos);
     if cx.lex.is_test_line(line) {
         return;
@@ -145,14 +214,23 @@ fn push(cx: &ScanCx<'_>, out: &mut Vec<Finding>, rule: &'static str, pos: usize,
         line,
         message,
         snippet: snippet_at(cx, line),
+        chain,
     });
 }
 
-/// Rule 1: no panicking constructs in the TX/RX hot-path modules.
-fn panic_hot_path(cx: &ScanCx<'_>, out: &mut Vec<Finding>) {
-    if !HOT_PATH_FILES.contains(&cx.rel) {
-        return;
+/// In graph scope, the witness chain for `pos` (None = not hot). In
+/// file-list scope, `Some(empty)` when `rel` is in `files`.
+fn hot_chain(cx: &ScanCx<'_>, files: &[&str], pos: usize) -> Option<Vec<Hop>> {
+    match cx.scope {
+        RuleScope::FileList => files.contains(&cx.rel).then(Vec::new),
+        RuleScope::Graph(fs) => fs.chain_at(pos).map(<[Hop]>::to_vec),
     }
+}
+
+/// Rule 1: no panicking constructs on the TX/RX hot path. Under graph
+/// scoping, "hot path" means any fn reachable from a declared entry point
+/// — a panic in a helper three crates away still takes the host down.
+fn panic_hot_path(cx: &ScanCx<'_>, out: &mut Vec<Finding>) {
     const NEEDLES: &[(&str, bool)] = &[
         ("panic!", false),
         (".unwrap(", false),
@@ -163,12 +241,16 @@ fn panic_hot_path(cx: &ScanCx<'_>, out: &mut Vec<Finding>) {
     ];
     for &(needle, next) in NEEDLES {
         for pos in token_hits(cx.lex, needle, next) {
-            push(
+            let Some(chain) = hot_chain(cx, HOT_PATH_FILES, pos) else {
+                continue;
+            };
+            push_chain(
                 cx,
                 out,
                 "panic-hot-path",
                 pos,
                 format!("`{needle}` on a hot path: a driver must degrade, not abort"),
+                chain,
             );
         }
     }
@@ -178,30 +260,66 @@ fn panic_hot_path(cx: &ScanCx<'_>, out: &mut Vec<Finding>) {
 /// `HashSet<…>` iteration order varies run to run; a type declared here
 /// must either be a `BTreeMap`/`BTreeSet` or carry a
 /// `// lint: allow(nondet-order, reason)` pragma asserting it is only ever
-/// used for keyed lookup.
+/// used for keyed lookup. Matches plain type positions (`HashMap<…>`,
+/// including type-alias RHS and fully-qualified paths), turbofish
+/// expression positions (`HashMap::<…>`), and local renames
+/// (`use std::collections::HashMap as Peers;` makes `Peers<…>` fire).
 fn nondet_order(cx: &ScanCx<'_>, out: &mut Vec<Finding>) {
     if !SIM_FACING.iter().any(|p| cx.rel.starts_with(p)) {
         return;
     }
+    // `use std::collections::HashMap as X` (or `hashbrown::HashMap as X`)
+    // makes the rename a needle of its own.
+    let mut needles: Vec<(String, &'static str)> = vec![
+        ("HashMap".to_string(), "HashMap"),
+        ("HashSet".to_string(), "HashSet"),
+    ];
+    for u in &cx.index.uses {
+        if let Some(last) = u.path.last() {
+            if (last == "HashMap" || last == "HashSet") && u.local != *last {
+                needles.push((
+                    u.local.clone(),
+                    if last == "HashMap" {
+                        "HashMap"
+                    } else {
+                        "HashSet"
+                    },
+                ));
+            }
+        }
+    }
     let hay = cx.lex.masked.as_bytes();
-    for needle in ["HashMap", "HashSet"] {
-        for pos in token_hits(cx.lex, needle, false) {
-            // Only type positions (`HashMap<…>`) need a decision;
-            // `HashMap::new()` initializers follow from the declaration.
+    for (needle, canonical) in &needles {
+        for pos in token_hits(cx.lex, needle, true) {
+            // Type positions (`HashMap<…>`) and turbofish (`HashMap::<…>`)
+            // pin the container choice and need a decision; plain
+            // `HashMap::new()` initializers follow from a declaration
+            // that is flagged where it is written.
             let mut after = pos + needle.len();
             while after < hay.len() && hay[after].is_ascii_whitespace() {
                 after += 1;
             }
+            if after + 1 < hay.len() && hay[after] == b':' && hay[after + 1] == b':' {
+                after += 2;
+                while after < hay.len() && hay[after].is_ascii_whitespace() {
+                    after += 1;
+                }
+            }
             if after >= hay.len() || hay[after] != b'<' {
                 continue;
             }
+            let spelled = if needle == canonical {
+                format!("`{canonical}`")
+            } else {
+                format!("`{needle}` (= `{canonical}`)")
+            };
             push(
                 cx,
                 out,
                 "nondet-order",
                 pos,
                 format!(
-                    "`{needle}` in a sim-facing crate: iteration order is nondeterministic; \
+                    "{spelled} in a sim-facing crate: iteration order is nondeterministic; \
                      use BTreeMap/BTreeSet or pragma a lookup-only map"
                 ),
             );
@@ -211,6 +329,9 @@ fn nondet_order(cx: &ScanCx<'_>, out: &mut Vec<Finding>) {
 
 /// Rule 3: no wall-clock or environment reads outside the bench harness.
 /// Simulated time comes from `sim::Time`; anything else breaks replay.
+/// Under graph scoping the rule tightens from "anywhere outside bench" to
+/// "reachable from an entry point" — cold config readers are no longer
+/// flagged, hot ones gain a witness chain.
 fn wallclock(cx: &ScanCx<'_>, out: &mut Vec<Finding>) {
     if WALLCLOCK_EXEMPT.iter().any(|p| cx.rel.starts_with(p)) {
         return;
@@ -224,12 +345,21 @@ fn wallclock(cx: &ScanCx<'_>, out: &mut Vec<Finding>) {
     ];
     for &(needle, next) in NEEDLES {
         for pos in token_hits(cx.lex, needle, next) {
-            push(
+            let chain = match cx.scope {
+                // Legacy scope: every non-exempt file.
+                RuleScope::FileList => Vec::new(),
+                RuleScope::Graph(fs) => match fs.chain_at(pos) {
+                    Some(c) => c.to_vec(),
+                    None => continue,
+                },
+            };
+            push_chain(
                 cx,
                 out,
                 "wallclock",
                 pos,
                 format!("`{needle}`: wall-clock/environment access outside crates/bench breaks determinism"),
+                chain,
             );
         }
     }
@@ -343,7 +473,9 @@ fn valid_metric_name(name: &str) -> bool {
 /// `span_drop` leaks an open span: it will surface as `dropped` at run
 /// teardown instead of a measured close. Cross-function open/close pairs
 /// belong in the `kernel/mod.rs` helper layer (`span_detour_open` and
-/// friends), which this rule deliberately does not match.
+/// friends), which this rule deliberately does not match. Span pairing is
+/// a per-module discipline, so this rule keeps its file-list scope even
+/// under graph scoping.
 fn span_balance(cx: &ScanCx<'_>, out: &mut Vec<Finding>) {
     if !HOT_PATH_FILES.contains(&cx.rel) {
         return;
@@ -425,18 +557,34 @@ fn fn_extents(hay: &[u8]) -> Vec<(usize, usize)> {
 }
 
 /// Rule 6: no direct payload allocation on the frame/cluster hot paths.
-/// `netsim::link`, `fault.rs` frame fates, and the mbuf cluster path
-/// recycle storage through `sim::pool`; a stray `vec![…]`,
-/// `Vec::with_capacity`, or `.to_vec()` there reintroduces the per-frame
-/// allocation the pool exists to eliminate.
+/// The netsim link/fault layer and the mbuf cluster path recycle storage
+/// through `sim::pool`; a stray `vec![…]`, `Vec::with_capacity`, or
+/// `.to_vec()` there reintroduces the per-frame allocation the pool exists
+/// to eliminate. Under graph scoping: any reachable fn inside the netsim
+/// or mbuf crates.
 fn payload_alloc(cx: &ScanCx<'_>, out: &mut Vec<Finding>) {
-    if !PAYLOAD_POOL_FILES.contains(&cx.rel) {
-        return;
-    }
     const NEEDLES: &[&str] = &["vec!", "Vec::with_capacity", ".to_vec("];
+    let in_payload_crate = PAYLOAD_CRATES.iter().any(|p| cx.rel.starts_with(p));
     for needle in NEEDLES {
         for pos in token_hits(cx.lex, needle, false) {
-            push(
+            let chain = match cx.scope {
+                RuleScope::FileList => {
+                    if !PAYLOAD_POOL_FILES.contains(&cx.rel) {
+                        continue;
+                    }
+                    Vec::new()
+                }
+                RuleScope::Graph(fs) => {
+                    if !in_payload_crate {
+                        continue;
+                    }
+                    match fs.chain_at(pos) {
+                        Some(c) => c.to_vec(),
+                        None => continue,
+                    }
+                }
+            };
+            push_chain(
                 cx,
                 out,
                 "payload-alloc",
@@ -445,6 +593,7 @@ fn payload_alloc(cx: &ScanCx<'_>, out: &mut Vec<Finding>) {
                     "`{needle}` on a payload hot path: frame/cluster storage must \
                      come from sim::pool (pragma a cold path with a reason)"
                 ),
+                chain,
             );
         }
     }
@@ -460,6 +609,7 @@ fn bad_pragma(cx: &ScanCx<'_>, out: &mut Vec<Finding>) {
             line: issue.line,
             message: issue.message.clone(),
             snippet: snippet_at(cx, issue.line),
+            chain: Vec::new(),
         });
     }
     for pragma in &cx.lex.pragmas {
@@ -470,6 +620,7 @@ fn bad_pragma(cx: &ScanCx<'_>, out: &mut Vec<Finding>) {
                 line: pragma.line,
                 message: format!("pragma allows unknown rule `{}`", pragma.rule),
                 snippet: snippet_at(cx, pragma.line),
+                chain: Vec::new(),
             });
         }
     }

@@ -138,17 +138,21 @@ impl Chain {
         };
         let mut remaining = n;
         while remaining > 0 {
-            let first_len = self.mbufs.front().expect("length invariant").len();
-            if first_len <= remaining {
-                let m = self.mbufs.pop_front().unwrap();
+            // `len` counts exactly the bytes in `mbufs`, so the assert above
+            // guarantees a front mbuf exists while `remaining > 0`.
+            let Some(mut m) = self.mbufs.pop_front() else {
+                break;
+            };
+            if m.len() <= remaining {
                 self.len -= m.len();
                 remaining -= m.len();
                 front.append(m);
             } else {
-                let part = self.mbufs.front_mut().unwrap().split_front(remaining);
+                let part = m.split_front(remaining);
                 self.len -= part.len();
                 remaining = 0;
                 front.append(part);
+                self.mbufs.push_front(m);
             }
         }
         front
@@ -168,16 +172,20 @@ impl Chain {
         assert!(n <= self.len);
         let mut to_cut = self.len - n;
         while to_cut > 0 {
-            let last = self.mbufs.back_mut().expect("length invariant");
+            // `len` counts exactly the bytes in `mbufs`, so the assert above
+            // guarantees a back mbuf exists while `to_cut > 0`.
+            let Some(mut last) = self.mbufs.pop_back() else {
+                break;
+            };
             if last.len() <= to_cut {
                 to_cut -= last.len();
                 self.len -= last.len();
-                self.mbufs.pop_back();
             } else {
                 let keep = last.len() - to_cut;
                 last.truncate(keep);
                 self.len -= to_cut;
                 to_cut = 0;
+                self.mbufs.push_back(last);
             }
         }
     }
@@ -218,7 +226,6 @@ impl Chain {
     /// if the chain contains any external descriptor (whose bytes live
     /// elsewhere) — callers needing those must go through the driver.
     pub fn flatten_kernel(&self) -> Option<Vec<u8>> {
-        // lint: allow(payload-alloc, diagnostic/verification gather, not on the per-frame transfer path)
         let mut out = Vec::with_capacity(self.len);
         for m in &self.mbufs {
             match m.data() {
@@ -257,6 +264,7 @@ impl Chain {
                 MbufData::Kernel(b) => {
                     dst[filled..filled + take].copy_from_slice(&b[skip..skip + take])
                 }
+                // lint: allow(panic-hot-path, caller contract - input paths only call this over header bytes, which are always kernel resident)
                 _ => panic!("copy_kernel_out over non-kernel data"),
             }
             filled += take;

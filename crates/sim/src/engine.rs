@@ -43,7 +43,6 @@ impl EngineKind {
     /// bin on the reference heap without per-bin flags. Aborts on a
     /// malformed value rather than silently falling back.
     pub fn from_env() -> EngineKind {
-        // lint: allow(wallclock, engine selection is an explicit experiment input, read once at config build)
         match std::env::var("OUTBOARD_ENGINE") {
             Ok(v) => match EngineKind::parse(&v) {
                 Some(k) => k,

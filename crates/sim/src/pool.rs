@@ -108,6 +108,15 @@ fn class_of(len: usize) -> Option<usize> {
 }
 
 impl BufPool {
+    /// Pool state guard. A panicking holder poisons the mutex, but every
+    /// pool operation leaves the state consistent (counters and free lists
+    /// are updated together), so recover the guard instead of propagating.
+    fn state(&self) -> std::sync::MutexGuard<'_, PoolInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// An empty pool.
     pub fn new() -> BufPool {
         BufPool {
@@ -126,7 +135,7 @@ impl BufPool {
     /// Hand out a zero-filled buffer of exactly `len` bytes plus the ticket
     /// that must accompany its return.
     pub fn acquire(&self, len: usize) -> (Vec<u8>, Ticket) {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = self.state();
         let buf = match class_of(len).and_then(|c| g.classes[c].pop()) {
             Some(mut b) => {
                 g.stats.hits += 1;
@@ -168,7 +177,7 @@ impl BufPool {
     /// Return a buffer. Invalid tickets (double release, stale generation)
     /// are counted in `ticket_errors` and the storage is freed, not pooled.
     pub fn release(&self, buf: Vec<u8>, ticket: Ticket) {
-        let mut g = self.inner.lock().unwrap();
+        let mut g = self.state();
         let slot = ticket.slot();
         let valid = g
             .slots
@@ -208,13 +217,13 @@ impl BufPool {
 
     /// Snapshot of the counters.
     pub fn stats(&self) -> PoolStats {
-        self.inner.lock().unwrap().stats
+        self.state().stats
     }
 
     /// `acquires == releases` (nothing outstanding) and no ticket errors —
     /// the teardown conservation check.
     pub fn balanced(&self) -> bool {
-        let g = self.inner.lock().unwrap();
+        let g = self.state();
         g.outstanding == 0 && g.stats.ticket_errors == 0
     }
 }

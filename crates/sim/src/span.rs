@@ -358,7 +358,9 @@ impl SpanSink {
         else {
             return false;
         };
-        let o = self.open.remove(pos).unwrap();
+        let Some(o) = self.open.remove(pos) else {
+            return false;
+        };
         self.closed += 1;
         self.emit(o.flow, o.stage, o.start, end, o.bytes, false);
         true
@@ -389,7 +391,9 @@ impl SpanSink {
                 self.emit(o.flow, o.stage, o.start, end, bytes, false);
                 return;
             }
-            let o = self.open.remove(pos).unwrap();
+            let Some(o) = self.open.remove(pos) else {
+                return;
+            };
             bytes -= o.bytes;
             self.closed += 1;
             self.emit(o.flow, o.stage, o.start, end, o.bytes, false);
@@ -408,7 +412,9 @@ impl SpanSink {
         else {
             return false;
         };
-        let o = self.open.remove(pos).unwrap();
+        let Some(o) = self.open.remove(pos) else {
+            return false;
+        };
         self.dropped += 1;
         self.emit(o.flow, o.stage, o.start, end, o.bytes, true);
         true

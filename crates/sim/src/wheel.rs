@@ -397,6 +397,7 @@ impl<E> TimingWheel<E> {
                         .iter()
                         .map(|e| e.at.nanos())
                         .min()
+                        // lint: allow(panic-hot-path, occupied bitmap bit is set iff the slot holds entries; place/clear keep them paired)
                         .expect("occupied slot is nonempty");
                     // The slot's window start is grain-aligned and strictly
                     // above the cursor, so this advances monotonically.
@@ -433,7 +434,9 @@ impl<E> TimingWheel<E> {
                         if e.at.nanos() >> (GRAIN + BITS * LEVELS as u32) != window {
                             break;
                         }
-                        let e = self.overflow.pop().unwrap();
+                        let Some(e) = self.overflow.pop() else {
+                            break;
+                        };
                         self.place(e);
                     }
                 }

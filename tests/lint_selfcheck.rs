@@ -1,11 +1,27 @@
 //! The lint's own acceptance gates, run as part of tier-1:
 //!
 //! 1. the fixture self-check (every rule fires on a known-bad snippet and
-//!    stays quiet on the matching known-good one), and
-//! 2. a full scan of this repository, which must be clean — the same gate
-//!    CI enforces with `outboard-lint --workspace --deny-all`.
+//!    stays quiet on the matching known-good one),
+//! 2. a full graph-scoped scan of this repository, which must be clean —
+//!    the same gate CI enforces with `outboard-lint --workspace --deny-all`,
+//! 3. the demonstration that reachability scoping catches what the PR-4
+//!    file-list scoping structurally could not, and
+//! 4. shape checks on the machine-readable reports (JSON v2, SARIF 2.1.0).
 
 use std::path::Path;
+
+use outboard_lint::ScanOptions;
+
+fn graph_opts() -> ScanOptions {
+    ScanOptions::default()
+}
+
+fn legacy_opts() -> ScanOptions {
+    ScanOptions {
+        graph: false,
+        ..ScanOptions::default()
+    }
+}
 
 #[test]
 fn fixture_self_check_passes() {
@@ -14,9 +30,19 @@ fn fixture_self_check_passes() {
 }
 
 #[test]
+fn fixture_suite_grew_past_the_pr4_baseline() {
+    // PR 4 shipped 39 fixtures; the interprocedural layer must add its own.
+    assert!(
+        outboard_lint::fixture_count() > 39,
+        "fixture suite shrank to {}",
+        outboard_lint::fixture_count()
+    );
+}
+
+#[test]
 fn workspace_scan_is_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let (files, findings) = outboard_lint::scan_workspace(root).expect("scan");
+    let (files, findings) = outboard_lint::scan_workspace(root, &graph_opts()).expect("scan");
     assert!(
         files >= 60,
         "scanner saw only {files} files; did the walk break?"
@@ -28,12 +54,91 @@ fn workspace_scan_is_clean() {
     );
 }
 
+/// The acceptance demonstration: a panic in a helper file that the PR-4
+/// `HOT_PATH_FILES` list never named. File-list scoping is structurally
+/// blind to it; the call graph follows `sys_write` into the helper and
+/// flags it, witness chain attached.
 #[test]
-fn json_report_is_well_formed_enough_to_grep() {
+fn call_graph_catches_panic_the_file_list_misses() {
+    let inputs = [
+        (
+            "crates/core/src/output.rs".to_string(),
+            "pub fn sys_write(n: usize) -> usize { crate::scatter::finish(n) }\n".to_string(),
+        ),
+        (
+            "crates/core/src/scatter.rs".to_string(),
+            "pub fn finish(n: usize) -> usize { n.checked_mul(2).unwrap() }\n".to_string(),
+        ),
+    ];
+
+    let legacy = outboard_lint::scan_files(&inputs, &legacy_opts());
+    assert!(
+        legacy.iter().all(|f| f.rule != "panic-hot-path"),
+        "file-list scoping should not reach scatter.rs: {legacy:?}"
+    );
+
+    let graph = outboard_lint::scan_files(&inputs, &graph_opts());
+    let hit: Vec<_> = graph
+        .iter()
+        .filter(|f| f.rule == "panic-hot-path")
+        .collect();
+    assert_eq!(
+        hit.len(),
+        1,
+        "graph scoping should flag the helper: {graph:?}"
+    );
+    let f = hit[0];
+    assert_eq!(f.file, "crates/core/src/scatter.rs");
+    let names: Vec<&str> = f.chain.iter().map(|h| h.name.as_str()).collect();
+    assert_eq!(
+        names,
+        ["output::sys_write", "scatter::finish"],
+        "witness chain should walk root -> helper"
+    );
+}
+
+#[test]
+fn json_v2_report_round_trips_key_fields() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let (files, findings) = outboard_lint::scan_workspace(root).expect("scan");
+    let (files, findings) = outboard_lint::scan_workspace(root, &graph_opts()).expect("scan");
     let json = outboard_lint::render_json(root, files, &findings);
     assert!(json.starts_with('{') && json.ends_with("}\n"));
+    assert!(json.contains("\"version\": \"outboard-lint-v2\""));
     assert!(json.contains("\"files_scanned\""));
     assert!(json.contains("\"findings\""));
+}
+
+#[test]
+fn sarif_report_has_the_2_1_0_shape_and_chains() {
+    // Scan the demonstration pair so at least one chained finding exists.
+    let inputs = [
+        (
+            "crates/core/src/output.rs".to_string(),
+            "pub fn sys_write(n: usize) -> usize { crate::scatter::finish(n) }\n".to_string(),
+        ),
+        (
+            "crates/core/src/scatter.rs".to_string(),
+            "pub fn finish(n: usize) -> usize { n.checked_mul(2).unwrap() }\n".to_string(),
+        ),
+    ];
+    let findings = outboard_lint::scan_files(&inputs, &graph_opts());
+    assert!(!findings.is_empty());
+    let sarif = outboard_lint::render_sarif(&findings);
+    for key in [
+        "\"version\": \"2.1.0\"",
+        "\"runs\"",
+        "\"tool\"",
+        "\"driver\"",
+        "\"outboard-lint\"",
+        "\"results\"",
+        "\"locations\"",
+        "\"codeFlows\"",
+        "\"threadFlows\"",
+    ] {
+        assert!(sarif.contains(key), "SARIF report missing {key}:\n{sarif}");
+    }
+    // Every reachability-scoped finding carries its witness chain.
+    for f in findings.iter().filter(|f| f.rule == "panic-hot-path") {
+        assert!(!f.chain.is_empty(), "finding {} lost its chain", f.id());
+    }
 }
