@@ -66,7 +66,14 @@ fn base_cfg(seed: u64, total: usize) -> ExperimentConfig {
     let mut cfg = ExperimentConfig::new(MachineConfig::alpha_3000_400(), stack, 64 * 1024);
     cfg.total_bytes = total;
     cfg.seed = seed;
-    cfg.verify = true; // the integrity oracle needs pattern verification
+    // The integrity oracle needs pattern verification.
+    cfg.verify = true;
+    // Flight recorder: chaos runs always sample a timeline so an oracle
+    // failure can dump its last windows as flight_<seed>.json. Export
+    // strings are not rendered (the flight dump reads the world directly).
+    cfg.timeline_enabled = true;
+    cfg.timeline_export = false;
+    outboard_bench::timeline_args().apply(&mut cfg);
     cfg
 }
 
@@ -76,6 +83,10 @@ struct SeedReport {
     line: String,
     failed: bool,
     repro_json: Option<String>,
+    /// Flight-recorder dump of the original (unshrunk) failure: the last
+    /// timeline windows plus the span-ring tail at the moment the oracle
+    /// reported violations.
+    flight_json: Option<String>,
 }
 
 fn sweep_seed(seed: u64, events: usize, total: usize, plant_bug: bool) -> SeedReport {
@@ -104,6 +115,7 @@ fn sweep_seed(seed: u64, events: usize, total: usize, plant_bug: bool) -> SeedRe
             ),
             failed: false,
             repro_json: None,
+            flight_json: None,
         };
     }
     let first = outcome.violations[0].clone();
@@ -119,6 +131,7 @@ fn sweep_seed(seed: u64, events: usize, total: usize, plant_bug: bool) -> SeedRe
         ),
         failed: true,
         repro_json,
+        flight_json: outcome.flight_json,
     }
 }
 
@@ -156,6 +169,13 @@ fn replay(path: &str, total: usize, stats: bool) -> i32 {
     } else {
         for v in &outcome.violations {
             println!("VIOLATION: {v}");
+        }
+        if let Some(flight) = &outcome.flight_json {
+            let fpath = format!("flight_{}.json", schedule.seed);
+            match std::fs::write(&fpath, flight) {
+                Ok(()) => println!("flight recorder written to {fpath}"),
+                Err(e) => eprintln!("cannot write {fpath}: {e}"),
+            }
         }
         1
     }
@@ -209,6 +229,13 @@ fn main() {
                 let path = format!("{}/repro_{}.json", out_dir, r.seed);
                 match std::fs::write(&path, json) {
                     Ok(()) => println!("          repro written to {path}"),
+                    Err(e) => eprintln!("          cannot write {path}: {e}"),
+                }
+            }
+            if let Some(flight) = &r.flight_json {
+                let path = format!("{}/flight_{}.json", out_dir, r.seed);
+                match std::fs::write(&path, flight) {
+                    Ok(()) => println!("          flight recorder written to {path}"),
                     Err(e) => eprintln!("          cannot write {path}: {e}"),
                 }
             }

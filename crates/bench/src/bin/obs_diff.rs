@@ -1,0 +1,246 @@
+//! `obs-diff`: compare two observability artifacts metric-by-metric.
+//!
+//! Accepts the workspace's hand-rolled JSON formats — `stats_*.json`
+//! (a [`MetricsRegistry`](outboard_sim::MetricsRegistry) snapshot) or
+//! `timeline_*.json` (`outboard-timeline-v1`) — flattens each into scalar
+//! facets (`name`, `name.hwm`, `series.sum`, …), and prints per-metric
+//! absolute and percent deltas.
+//!
+//! ```text
+//! obs_diff A.json B.json [--threshold-pct P] [--threshold-abs N] [--all]
+//! ```
+//!
+//! * `--threshold-pct P`  tolerated relative delta per metric, percent
+//!   (default 0: any difference fails)
+//! * `--threshold-abs N`  tolerated absolute delta per metric (default 0)
+//! * `--all`              print matching metrics too, not just differences
+//!
+//! A metric fails when its delta exceeds *both* thresholds; a metric
+//! present in only one file always fails. Exit status: 0 within
+//! thresholds, 1 differences exceed thresholds, 2 usage/parse error.
+//! CI uses the zero-threshold mode to prove serial and `--jobs 4` sweeps
+//! publish byte-identical registries.
+
+use outboard_sim::chaos::json::{self, Value};
+use std::collections::BTreeMap;
+
+fn usage() -> ! {
+    eprintln!("usage: obs_diff A.json B.json [--threshold-pct P] [--threshold-abs N] [--all]");
+    std::process::exit(2);
+}
+
+/// Flatten one parsed artifact into `facet name -> value` (both formats).
+fn flatten(doc: &Value, path: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let Some(obj) = doc.as_object() else {
+        eprintln!("{path}: top level is not a JSON object");
+        std::process::exit(2);
+    };
+    if let Some(schema) = json::get(obj, "schema").and_then(|v| v.as_str()) {
+        if schema != "outboard-timeline-v1" {
+            eprintln!("{path}: unknown schema {schema:?}");
+            std::process::exit(2);
+        }
+        flatten_timeline(obj, path, &mut out);
+    } else if json::get(obj, "metrics").is_some() {
+        flatten_stats(obj, path, &mut out);
+    } else {
+        eprintln!("{path}: neither a stats snapshot nor a timeline");
+        std::process::exit(2);
+    }
+    out
+}
+
+fn flatten_stats(obj: &[(String, Value)], path: &str, out: &mut BTreeMap<String, f64>) {
+    if let Some(v) = json::get(obj, "elapsed_ns").and_then(|v| v.as_f64()) {
+        out.insert("elapsed_ns".to_string(), v);
+    }
+    let Some(metrics) = json::get(obj, "metrics").and_then(|v| v.as_object()) else {
+        eprintln!("{path}: \"metrics\" is not an object");
+        std::process::exit(2);
+    };
+    for (name, m) in metrics {
+        let Some(fields) = m.as_object() else {
+            continue;
+        };
+        for (k, v) in fields {
+            if k == "type" {
+                continue;
+            }
+            let Some(x) = v.as_f64() else { continue };
+            let facet = if k == "value" {
+                name.clone()
+            } else {
+                format!("{name}.{k}")
+            };
+            out.insert(facet, x);
+        }
+    }
+}
+
+fn flatten_timeline(obj: &[(String, Value)], path: &str, out: &mut BTreeMap<String, f64>) {
+    for key in [
+        "window_ns",
+        "windows",
+        "evicted",
+        "first_retained",
+        "end_ns",
+    ] {
+        if let Some(v) = json::get(obj, key).and_then(|v| v.as_f64()) {
+            out.insert(format!("timeline.{key}"), v);
+        }
+    }
+    let Some(series) = json::get(obj, "series").and_then(|v| v.as_array()) else {
+        eprintln!("{path}: \"series\" is not an array");
+        std::process::exit(2);
+    };
+    for s in series {
+        let Some(fields) = s.as_object() else {
+            continue;
+        };
+        let Some(name) = json::get(fields, "name").and_then(|v| v.as_str()) else {
+            continue;
+        };
+        for key in ["base", "final", "sum", "hwm"] {
+            if let Some(v) = json::get(fields, key).and_then(|v| v.as_f64()) {
+                out.insert(format!("{name}.{key}"), v);
+            }
+        }
+        if let Some(samples) = json::get(fields, "samples").and_then(|v| v.as_array()) {
+            out.insert(format!("{name}.samples"), samples.len() as f64);
+        }
+    }
+}
+
+fn load(path: &str) -> BTreeMap<String, f64> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let doc = match json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    flatten(&doc, path)
+}
+
+fn arg_f64(argv: &[String], name: &str) -> Option<f64> {
+    let mut i = 0;
+    while i < argv.len() {
+        let (flag, inline) = match argv[i].split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (argv[i].as_str(), None),
+        };
+        if flag == name {
+            let val = inline.unwrap_or_else(|| argv.get(i + 1).cloned().unwrap_or_default());
+            match val.parse::<f64>() {
+                Ok(x) if x >= 0.0 && x.is_finite() => return Some(x),
+                _ => {
+                    eprintln!("{name} needs a non-negative number, got {val:?}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    // Positional file arguments, skipping flags and their values.
+    let mut paths: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        let a = &argv[i];
+        if a == "--threshold-pct" || a == "--threshold-abs" {
+            i += 2;
+            continue;
+        }
+        if a.starts_with("--") {
+            i += 1;
+            continue;
+        }
+        paths.push(a.clone());
+        i += 1;
+    }
+    if paths.len() != 2 {
+        usage();
+    }
+    let pct_limit = arg_f64(&argv, "--threshold-pct").unwrap_or(0.0);
+    let abs_limit = arg_f64(&argv, "--threshold-abs").unwrap_or(0.0);
+    let show_all = argv.iter().any(|a| a == "--all");
+
+    let a = load(&paths[0]);
+    let b = load(&paths[1]);
+
+    let mut keys: Vec<&String> = a.keys().chain(b.keys()).collect();
+    keys.sort();
+    keys.dedup();
+
+    println!(
+        "{:<44} {:>16} {:>16} {:>14} {:>9}",
+        "metric", "a", "b", "delta", "pct"
+    );
+    let mut failures = 0u64;
+    let mut compared = 0u64;
+    for key in keys {
+        match (a.get(key), b.get(key)) {
+            (Some(&va), Some(&vb)) => {
+                compared += 1;
+                let delta = vb - va;
+                let denom = va.abs().max(vb.abs());
+                let pct = if delta == 0.0 {
+                    0.0
+                } else if denom > 0.0 {
+                    delta.abs() / denom * 100.0
+                } else {
+                    100.0
+                };
+                let exceeds = delta.abs() > abs_limit && pct > pct_limit;
+                if exceeds {
+                    failures += 1;
+                }
+                if show_all || delta != 0.0 {
+                    println!(
+                        "{:<44} {:>16} {:>16} {:>+14} {:>8.3}%{}",
+                        key,
+                        va,
+                        vb,
+                        delta,
+                        pct,
+                        if exceeds { "  EXCEEDS" } else { "" }
+                    );
+                }
+            }
+            (Some(&va), None) => {
+                failures += 1;
+                println!(
+                    "{key:<44} {va:>16} {:>16} {:>14} {:>9}  ONLY-A",
+                    "-", "-", "-"
+                );
+            }
+            (None, Some(&vb)) => {
+                failures += 1;
+                println!(
+                    "{key:<44} {:>16} {vb:>16} {:>14} {:>9}  ONLY-B",
+                    "-", "-", "-"
+                );
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    println!(
+        "{compared} metrics compared, {failures} outside thresholds \
+         (abs > {abs_limit}, pct > {pct_limit}%)"
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

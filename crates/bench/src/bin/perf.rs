@@ -194,6 +194,29 @@ fn main() {
         ],
     });
 
+    // 1c. Timeline overhead, mirroring 1b: the identical run with windowed
+    // sampling enabled but nothing exported vs the unsampled baseline.
+    // Boundary sampling reads a handful of integers per virtual
+    // millisecond; recording you never read must stay cheap.
+    let mut sampled_cfg = cfg.clone();
+    sampled_cfg.timeline_enabled = true;
+    sampled_cfg.timeline_export = false;
+    let sampled_us = min3_us(&sampled_cfg);
+    let timeline_pct = (sampled_us - untraced_us) / untraced_us.max(1.0) * 100.0;
+    let timeline_overhead_ok = timeline_pct <= 2.0 || (sampled_us - untraced_us) < 2_000.0;
+    workloads.push(Workload {
+        name: "timeline_overhead",
+        fields: vec![
+            ("unsampled_us", untraced_us),
+            ("sampled_us", sampled_us),
+            ("overhead_pct", timeline_pct),
+            (
+                "within_budget",
+                if timeline_overhead_ok { 1.0 } else { 0.0 },
+            ),
+        ],
+    });
+
     // 2. Fault-matrix soak configuration.
     let total = if smoke { 1024 * 1024 } else { 4 * 1024 * 1024 };
     let mut cfg = experiment(&machine, true, 64 * 1024, total);
@@ -427,6 +450,13 @@ fn main() {
     if !trace_overhead_ok {
         eprintln!(
             "perf: span tracing costs {overhead_pct:.1}% wall-clock on \
+             tcp_large_window (budget: 2%) — failing"
+        );
+        std::process::exit(1);
+    }
+    if !timeline_overhead_ok {
+        eprintln!(
+            "perf: windowed sampling costs {timeline_pct:.1}% wall-clock on \
              tcp_large_window (budget: 2%) — failing"
         );
         std::process::exit(1);

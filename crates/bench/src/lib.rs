@@ -15,6 +15,7 @@
 //! Criterion micro-benches live in `benches/`.
 
 use outboard_host::MachineConfig;
+use outboard_sim::Dur;
 use outboard_stack::StackConfig;
 use outboard_testbed::{run_ttcp, ExperimentConfig, Metrics};
 
@@ -45,6 +46,7 @@ pub fn figure_point(machine: &MachineConfig, single_copy: bool, write_size: usiz
     cfg.total_bytes = total_for(write_size);
     cfg.verify = false; // checked extensively in tests; keep benches honest
     fault_args().apply(&mut cfg);
+    timeline_args().apply(&mut cfg);
     run_ttcp(&cfg)
 }
 
@@ -323,6 +325,74 @@ pub fn trace_args() -> TraceArgs {
     t
 }
 
+/// Windowed-telemetry knobs shared by every benchmark binary.
+///
+/// `--timeline` turns the sampler on for every experiment the binary runs;
+/// `--timeline-window-us N` overrides the sampling window (default 1000 µs
+/// of virtual time). Timelines surface three ways: counter tracks merged
+/// into any `--trace-out` Perfetto file, `timeline_<tag>.json/.csv`
+/// snapshots next to the `stats_*` files under `--stats`, and an ASCII
+/// sparkline summary on stdout.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TimelineArgs {
+    /// `--timeline`: enable windowed sampling.
+    pub enabled: bool,
+    /// `--timeline-window-us`: sampling window override, microseconds.
+    pub window_us: Option<u64>,
+}
+
+impl TimelineArgs {
+    /// Copy the knobs into an experiment configuration.
+    pub fn apply(&self, cfg: &mut ExperimentConfig) {
+        if self.enabled {
+            cfg.timeline_enabled = true;
+        }
+        if let Some(us) = self.window_us {
+            cfg.timeline_window = Dur::micros(us);
+        }
+    }
+}
+
+/// Parse the shared `--timeline*` flags (`--timeline`,
+/// `--timeline-window-us 500` or `--timeline-window-us=500`). A malformed
+/// window aborts rather than silently sampling on the default.
+pub fn timeline_args() -> TimelineArgs {
+    let mut t = TimelineArgs::default();
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let (flag, inline) = match argv[i].split_once('=') {
+            Some((name, val)) => (name, Some(val.to_string())),
+            None => (argv[i].as_str(), None),
+        };
+        match flag {
+            "--timeline" => t.enabled = true,
+            "--timeline-window-us" => {
+                let val = match inline {
+                    Some(v) => v,
+                    None => {
+                        i += 1;
+                        argv.get(i).cloned().unwrap_or_default()
+                    }
+                };
+                match val.parse::<u64>() {
+                    Ok(us) if us > 0 => {
+                        t.enabled = true;
+                        t.window_us = Some(us);
+                    }
+                    _ => {
+                        eprintln!("--timeline-window-us needs a positive count, got {val:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    t
+}
+
 /// Honor `--trace-out`: re-run one representative point (single-copy stack,
 /// 64 KB writes, any `--fault-*` flags still applied) with span tracing
 /// enabled, write the Perfetto/chrome-trace JSON, and print the
@@ -337,6 +407,7 @@ pub fn emit_trace(machine: &MachineConfig) {
     cfg.total_bytes = total_for(64 * 1024);
     cfg.verify = false;
     fault_args().apply(&mut cfg);
+    timeline_args().apply(&mut cfg);
     cfg.trace_spans = true;
     if let Some(flows) = t.flows {
         cfg.trace_flows = flows;
@@ -346,6 +417,13 @@ pub fn emit_trace(machine: &MachineConfig) {
     let opened = m.stats.counter_value("world.spans.opened");
     let evicted = m.stats.counter_value("world.spans.evicted");
     println!("spans recorded: {opened} (evicted: {evicted})");
+    if m.stats.get("world.timeline.windows").is_some() {
+        println!(
+            "timeline windows: {} ({} series; counter tracks merged into the trace)",
+            m.stats.counter_value("world.timeline.windows"),
+            m.stats.counter_value("world.timeline.series"),
+        );
+    }
     if let Some(cp) = &m.critical_path {
         print!("{}", cp.render());
     }
@@ -378,5 +456,18 @@ pub fn emit_stats(tag: &str, machine: &MachineConfig) {
     {
         Ok(()) => println!("\nwrote {json} and {csv}"),
         Err(e) => eprintln!("\nfailed to write stats snapshots: {e}"),
+    }
+    // Timeline artifacts ride along when `--timeline` was passed: the
+    // sparkline summary on stdout, JSON/CSV next to the stats files.
+    if let (Some(tj), Some(tc), Some(ts)) = (&m.timeline_json, &m.timeline_csv, &m.timeline_summary)
+    {
+        println!("\n== timeline (single-copy stack, 64 KB writes) ==\n");
+        print!("{ts}");
+        let tjson = format!("timeline_{tag}.json");
+        let tcsv = format!("timeline_{tag}.csv");
+        match std::fs::write(&tjson, tj).and_then(|()| std::fs::write(&tcsv, tc)) {
+            Ok(()) => println!("\nwrote {tjson} and {tcsv}"),
+            Err(e) => eprintln!("\nfailed to write timeline snapshots: {e}"),
+        }
     }
 }

@@ -878,6 +878,12 @@ impl Cab {
         self.sdma.busy_until()
     }
 
+    /// Total busy time across all three DMA engines (SDMA + both MDMA
+    /// directions) — the timeline sampler's "engine busy" counter.
+    pub fn engines_busy(&self) -> Dur {
+        self.sdma.total_busy() + self.mdma_tx.total_busy() + self.mdma_rx.total_busy()
+    }
+
     /// Publish the adaptor's metrics — engine busy fractions (the paper's
     /// §7.1 utilization accounting), network-memory occupancy, and frame
     /// counters — into a registry scope.

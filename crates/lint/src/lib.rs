@@ -16,7 +16,9 @@
 //!   reachable fns outside `crates/bench`;
 //! * `metrics-naming` — metric names must fit the `host{i}.cab{j}.*` /
 //!   `world.*` taxonomy (which includes the causal-tracing
-//!   `world.spans.*` namespace);
+//!   `world.spans.*` namespace, the windowed-telemetry
+//!   `world.timeline.*` namespace, and the flight-recorder series
+//!   names);
 //! * `span-balance` — a `span_open` in a hot-path module must have a
 //!   matching `span_close`/`span_drop` in the same function;
 //! * `payload-alloc` — no `vec![…]`/`Vec::with_capacity`/`.to_vec()` in
@@ -883,6 +885,33 @@ const FIXTURES: &[Fixture] = &[
         &[(
             "crates/testbed/src/world.rs",
             "fn f(w: &mut Scope) { w.counter(\"world.chaos.Bad-Kind\", 1); }\n"
+        )]
+    ),
+    fx!(
+        "timeline metric namespace passes taxonomy",
+        "metrics-naming",
+        0,
+        &[(
+            "crates/testbed/src/world.rs",
+            "fn f(w: &mut Scope) { let mut t = w.sub(\"timeline\"); t.counter(\"windows\", 1); t.counter(\"world.timeline.window_ns\", 1); }\n"
+        )]
+    ),
+    fx!(
+        "flight-recorder series names pass taxonomy",
+        "metrics-naming",
+        0,
+        &[(
+            "crates/testbed/src/world.rs",
+            "fn f(w: &mut Scope, i: usize) { w.counter(&format!(\"host{i}.engine_busy_ns\"), 1); w.counter(\"world.pool_in_use\", 1); w.counter(\"world.faults\", 1); }\n"
+        )]
+    ),
+    fx!(
+        "malformed timeline metric name fires",
+        "metrics-naming",
+        1,
+        &[(
+            "crates/testbed/src/world.rs",
+            "fn f(w: &mut Scope) { w.counter(\"world.timeline.Window NS\", 1); }\n"
         )]
     ),
     // ── span-balance ──────────────────────────────────────────────────

@@ -368,8 +368,12 @@ fn wallclock(cx: &ScanCx<'_>, out: &mut Vec<Finding>) {
 /// Rule 4: metric names registered through `sim::obs` must fit the
 /// `host{i}.cab{j}.*` / `world.*` taxonomy — including the causal-tracing
 /// `world.spans.*` / `host{i}.spans.*` namespace (per-stage `p50_ns`,
-/// `p99_ns`, `max_ns`, `bytes` leaves): lowercase dotted snake_case, with
-/// `{…}` format holes allowed inside a segment.
+/// `p99_ns`, `max_ns`, `bytes` leaves), the windowed-telemetry
+/// `world.timeline.*` namespace (`windows`, `evicted`, `series`,
+/// `window_ns`), and the flight-recorder series names
+/// (`host{i}.tx_bytes`-style per-host leaves plus `world.pool_in_use` /
+/// `world.faults`): lowercase dotted snake_case, with `{…}` format holes
+/// allowed inside a segment.
 fn metrics_naming(cx: &ScanCx<'_>, out: &mut Vec<Finding>) {
     if !SIM_FACING.iter().any(|p| cx.rel.starts_with(p)) {
         return;

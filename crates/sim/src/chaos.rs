@@ -541,10 +541,11 @@ pub fn shrink(
     }
 }
 
-/// Minimal recursive-descent JSON reader for repro files. The workspace is
-/// offline (no serde), and the repro format is small enough that a ~150-line
-/// reader keeps the artifact human-editable without a dependency.
-mod json {
+/// Minimal recursive-descent JSON reader for repro files and other
+/// hand-rolled artifacts (stats, timeline, flight dumps). The workspace is
+/// offline (no serde), and the formats are small enough that a ~150-line
+/// reader keeps the artifacts human-editable without a dependency.
+pub mod json {
     /// A parsed JSON value. Numbers are kept as `f64` plus an exact `u64`
     /// when the literal was integral.
     #[derive(Debug, Clone, PartialEq)]
@@ -565,33 +566,45 @@ mod json {
     }
 
     impl Value {
+        /// The object key/value list, if this is an object.
         pub fn as_object(&self) -> Option<&[(String, Value)]> {
             match self {
                 Value::Obj(kv) => Some(kv),
                 _ => None,
             }
         }
+        /// The element slice, if this is an array.
         pub fn as_array(&self) -> Option<&[Value]> {
             match self {
                 Value::Arr(v) => Some(v),
                 _ => None,
             }
         }
+        /// The string contents, if this is a string.
         pub fn as_str(&self) -> Option<&str> {
             match self {
                 Value::Str(s) => Some(s),
                 _ => None,
             }
         }
+        /// The exact integer, if this is a non-negative integral number.
         pub fn as_u64(&self) -> Option<u64> {
             match self {
                 Value::Num(_, exact) => *exact,
                 _ => None,
             }
         }
+        /// The boolean, if this is a boolean.
         pub fn as_bool(&self) -> Option<bool> {
             match self {
                 Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+        /// The number as `f64`, if this is a number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(f, _) => Some(*f),
                 _ => None,
             }
         }
@@ -602,6 +615,7 @@ mod json {
         obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 
+    /// Parse a complete JSON document (trailing data is an error).
     pub fn parse(text: &str) -> Result<Value, super::ChaosParseError> {
         let bytes = text.as_bytes();
         let mut pos = 0usize;

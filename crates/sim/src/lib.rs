@@ -25,7 +25,10 @@
 //! * [`obs`] — the workspace-wide metrics registry (busy fractions, queue
 //!   high-water marks, netstat-style counters) behind every run report,
 //! * [`chaos`] — deterministic, replayable fault schedules with a
-//!   delta-debugging shrinker for minimal failure repros.
+//!   delta-debugging shrinker for minimal failure repros,
+//! * [`timeline`] — windowed time-series telemetry: bounded rings of
+//!   per-window counter deltas and gauge levels with exact conservation,
+//!   exported as Perfetto counter tracks, JSON/CSV, and sparklines.
 
 #![warn(missing_docs)]
 
@@ -38,6 +41,7 @@ pub mod rng;
 pub mod span;
 pub mod stats;
 pub mod time;
+pub mod timeline;
 pub mod trace;
 pub mod wheel;
 
@@ -49,4 +53,5 @@ pub use queue::EventQueue;
 pub use rng::{check_probability, FaultConfigError, Pcg32};
 pub use span::{FlowId, Span, SpanSink, Stage};
 pub use time::{Dur, Time};
+pub use timeline::{SeriesId, SeriesKind, Timeline};
 pub use wheel::TimingWheel;

@@ -490,8 +490,10 @@ impl SpanSink {
 }
 
 /// Render one nanosecond timestamp as the trace-event microsecond field
-/// (exact decimal, no floating point: determinism).
-fn ts_us(ns: u64) -> String {
+/// (exact decimal, no floating point: determinism). Shared with the
+/// timeline module so counter tracks and span slices agree byte-for-byte
+/// on timestamp rendering.
+pub(crate) fn ts_us(ns: u64) -> String {
     format!("{}.{:03}", ns / 1_000, ns % 1_000)
 }
 
@@ -515,6 +517,19 @@ fn push_event(out: &mut String, ph: char, pid: u32, tid: u32, ns: u64, name: &st
 pub fn export_chrome_trace(
     tracks: &[(u32, String, &SpanSink)],
     flow_limit: Option<usize>,
+) -> String {
+    export_chrome_trace_with(tracks, flow_limit, &[])
+}
+
+/// [`export_chrome_trace`] plus a set of pre-rendered extra trace events
+/// (one JSON object per string, no separators) appended after the span
+/// slices and flow arrows — the hook the timeline module uses to merge
+/// Perfetto counter tracks (`ph:"C"`) into the same file, sharing the
+/// span pid space. Byte-deterministic for identical inputs.
+pub fn export_chrome_trace_with(
+    tracks: &[(u32, String, &SpanSink)],
+    flow_limit: Option<usize>,
+    extra_events: &[String],
 ) -> String {
     let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
     let mut first = true;
@@ -611,6 +626,11 @@ pub fn export_chrome_trace(
             let extra = format!(",\"cat\":\"flow\",\"id\":\"{g:08x}\"{bp}");
             push_event(&mut out, ph, *pid, tid, s.start.nanos(), "flow", &extra);
         }
+    }
+
+    for ev in extra_events {
+        sep(&mut out);
+        out.push_str(ev);
     }
 
     out.push_str("\n]}\n");

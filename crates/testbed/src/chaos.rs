@@ -45,6 +45,12 @@ pub struct ChaosOutcome {
     /// Full metrics snapshot (byte-identical per seed — the determinism
     /// contract the repro files rely on).
     pub stats: MetricsRegistry,
+    /// Flight-recorder dump (`outboard-flight-v1`): the last windows of the
+    /// run's timeline plus the tail of the span ring, rendered only when
+    /// the oracle found violations and the world had a timeline installed.
+    /// Written beside the `repro_<seed>.json` so every shrunk repro ships
+    /// with the telemetry of its own crash.
+    pub flight_json: Option<String>,
 }
 
 impl ChaosOutcome {
@@ -97,6 +103,7 @@ pub fn run_chaos(
             bytes_read: 0,
             chaos: ChaosStats::default(),
             stats: MetricsRegistry::default(),
+            flight_json: None,
         };
     }
     let mut w = build_ttcp_world(cfg);
@@ -157,6 +164,9 @@ pub fn run_chaos(
     if w.span_tracing_on() {
         w.finish_spans(w.now());
     }
+    if w.timeline_on() {
+        w.finish_timeline(w.now());
+    }
     let elapsed = w.now().since(Time::ZERO);
     let stats = w.metrics(elapsed);
     let bytes_read = {
@@ -172,6 +182,12 @@ pub fn run_chaos(
     violations.extend(oracle::conservation_violations(&stats, w.hosts.len()));
     violations.extend(oracle::endstate_violations(&w));
 
+    let flight_json = if violations.is_empty() {
+        None
+    } else {
+        flight_json(&w, cfg.seed, &violations)
+    };
+
     ChaosOutcome {
         completed: apps_finished(&w) && bytes_read >= cfg.total_bytes,
         elapsed,
@@ -179,7 +195,79 @@ pub fn run_chaos(
         chaos: w.chaos_stats().unwrap_or_default(),
         stats,
         violations,
+        flight_json,
     }
+}
+
+/// Windows of timeline history a flight dump retains.
+const FLIGHT_WINDOWS: usize = 64;
+/// Span-ring tail entries a flight dump retains.
+const FLIGHT_SPANS: usize = 64;
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the flight-recorder dump (`outboard-flight-v1`): the violation
+/// list, the last [`FLIGHT_WINDOWS`] windows of the timeline (base-refolded
+/// so conservation holds within the fragment), and the tail of the merged
+/// span ring. `None` when the world has no timeline installed.
+fn flight_json(w: &World, seed: u64, violations: &[String]) -> Option<String> {
+    use std::fmt::Write as _;
+    let tl = w.timeline()?;
+    let mut out = String::from("{\n  \"schema\": \"outboard-flight-v1\",\n");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"end_ns\": {},", w.now().nanos());
+    out.push_str("  \"violations\": [");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    \"{}\"", json_escape(v));
+    }
+    out.push_str("\n  ],\n");
+    // The timeline fragment is itself a complete `outboard-timeline-v1`
+    // object; embed it verbatim (indentation is cosmetic only).
+    let _ = write!(out, "  \"timeline\": {}", tl.tail_json(FLIGHT_WINDOWS));
+    out.truncate(out.trim_end().len());
+    out.push_str(",\n  \"spans\": {");
+    let spans = w.merged_spans();
+    let tail_from = spans.len().saturating_sub(FLIGHT_SPANS);
+    let _ = write!(out, "\n    \"recorded\": {},", spans.len());
+    let _ = write!(out, "\n    \"tail_from\": {tail_from},");
+    out.push_str("\n    \"tail\": [");
+    for (i, s) in spans[tail_from..].iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n      {{\"stage\": \"{}\", \"start_ns\": {}, \"end_ns\": {}, \
+             \"bytes\": {}, \"flow\": \"{:08x}\", \"seq_lo\": {}, \"fate\": \"{}\"}}",
+            s.stage.name(),
+            s.start.nanos(),
+            s.end.nanos(),
+            s.bytes,
+            s.flow.group(),
+            s.flow.seq_lo(),
+            if s.dropped { "dropped" } else { "ok" },
+        );
+    }
+    out.push_str("\n    ]\n  }\n}\n");
+    Some(out)
 }
 
 /// Delta-debug a failing schedule to local minimality, preserving the

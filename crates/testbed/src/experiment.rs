@@ -65,6 +65,17 @@ pub struct ExperimentConfig {
     /// Event-scheduler engine (wheel by default; `OUTBOARD_ENGINE=heap`
     /// re-runs on the reference heap for byte-identity checks).
     pub engine: EngineKind,
+    /// Enable windowed time-series telemetry (off by default; sampled runs
+    /// additionally publish `world.timeline.*` and can export timelines).
+    pub timeline_enabled: bool,
+    /// Sampling window of the timeline (virtual time).
+    pub timeline_window: Dur,
+    /// Retention capacity of the timeline rings, in windows.
+    pub timeline_capacity: usize,
+    /// Render timeline JSON/CSV/sparklines after a sampled run. Turning
+    /// this off measures the pure recording cost of enabled-but-unexported
+    /// sampling (the perf harness's `timeline_overhead` gate).
+    pub timeline_export: bool,
 }
 
 impl ExperimentConfig {
@@ -92,6 +103,10 @@ impl ExperimentConfig {
             trace_flows: Some(64),
             trace_export: true,
             engine: EngineKind::from_env(),
+            timeline_enabled: false,
+            timeline_window: Dur::millis(1),
+            timeline_capacity: 1 << 16,
+            timeline_export: true,
         }
     }
 
@@ -111,6 +126,12 @@ impl ExperimentConfig {
         chk("cab_mdma_fail_p", self.cab_mdma_fail_p)?;
         chk("cab_wedge_p", self.cab_wedge_p)?;
         chk("cab_csum_error_p", self.cab_csum_error_p)?;
+        if self.timeline_enabled && self.timeline_window.is_zero() {
+            return Err(outboard_sim::FaultConfigError {
+                knob: "timeline_window",
+                value: 0.0,
+            });
+        }
         Ok(())
     }
 }
@@ -152,10 +173,18 @@ pub struct Metrics {
     /// Full metrics snapshot of the world at the end of the run (hosts,
     /// links, fabric totals) over the run's elapsed virtual time.
     pub stats: MetricsRegistry,
-    /// Chrome trace-event JSON of the run's spans (traced runs only).
+    /// Chrome trace-event JSON of the run's spans (traced runs only; when
+    /// the timeline is also enabled, its counter tracks are merged in).
     pub trace_json: Option<String>,
     /// Critical-path attribution for the busiest flow (traced runs only).
     pub critical_path: Option<outboard_sim::span::CriticalPath>,
+    /// `outboard-timeline-v1` JSON of the run's windowed telemetry
+    /// (timeline-enabled runs with `timeline_export` only).
+    pub timeline_json: Option<String>,
+    /// CSV rendering of the same windows.
+    pub timeline_csv: Option<String>,
+    /// ASCII sparkline summary of the same windows (`--stats` output).
+    pub timeline_summary: Option<String>,
 }
 
 const SENDER_TASK: TaskId = TaskId(1);
@@ -221,6 +250,9 @@ pub fn build_ttcp_world(cfg: &ExperimentConfig) -> World {
     if cfg.trace_spans {
         w.enable_span_tracing(cfg.trace_capacity);
     }
+    if cfg.timeline_enabled {
+        w.enable_timeline(cfg.timeline_window, cfg.timeline_capacity);
+    }
     w
 }
 
@@ -283,11 +315,22 @@ pub fn run_ttcp(cfg: &ExperimentConfig) -> Metrics {
     if traced {
         w.finish_spans(w.now());
     }
+    // Likewise flush the timeline (remaining boundaries plus a final
+    // partial window) so window-delta sums equal the final counters.
+    if w.timeline_on() {
+        w.finish_timeline(w.now());
+    }
     let stats = w.metrics(elapsed);
     let (trace_json, critical_path) = if traced && cfg.trace_export {
         (Some(w.export_trace(cfg.trace_flows)), w.critical_path())
     } else {
         (None, None)
+    };
+    let (timeline_json, timeline_csv, timeline_summary) = match w.timeline() {
+        Some(tl) if cfg.timeline_export => {
+            (Some(tl.to_json()), Some(tl.to_csv()), Some(tl.sparklines()))
+        }
+        _ => (None, None, None),
     };
 
     Metrics {
@@ -317,6 +360,9 @@ pub fn run_ttcp(cfg: &ExperimentConfig) -> Metrics {
         stats,
         trace_json,
         critical_path,
+        timeline_json,
+        timeline_csv,
+        timeline_summary,
     }
 }
 

@@ -12,6 +12,7 @@ use outboard_host::{Charge, Cpu, HostMem, MachineConfig, TaskId};
 use outboard_netsim::{Capture, Framing, Link};
 use outboard_sim::chaos::{ChaosAction, ChaosSchedule};
 use outboard_sim::span::{self, CriticalPath, Span, SpanSink, Stage};
+use outboard_sim::timeline::{SeriesKind, Timeline};
 use outboard_sim::{BufPool, Dur, EngineKind, EventEngine, MetricsRegistry, Time};
 use outboard_stack::{Effect, IfaceId, Kernel, SockId, StackConfig, TimerKind};
 use std::collections::BTreeMap;
@@ -166,6 +167,18 @@ pub struct ChaosStats {
     pub deferred_events: u64,
 }
 
+/// Installed windowed sampler plus its boundary cursor. Boxed behind an
+/// `Option` on [`World`]: the disabled path costs one `is_some` branch per
+/// dispatched event and nothing else (zero-overhead-off, like spans).
+struct TimelineState {
+    tl: Timeline,
+    /// Next window boundary to sample at. Sampling happens lazily when the
+    /// event clock reaches or passes it, so the sample at boundary `b`
+    /// reflects exactly the events with time `< b` (events dispatch in
+    /// nondecreasing time order).
+    next_boundary: Time,
+}
+
 /// Installed chaos schedule plus its runtime bookkeeping.
 struct ChaosState {
     schedule: ChaosSchedule,
@@ -213,6 +226,9 @@ pub struct World {
     pub wire_spans: SpanSink,
     /// Installed chaos schedule (None for fault-free / knob-only runs).
     chaos: Option<ChaosState>,
+    /// Windowed time-series sampler (None unless enabled; see
+    /// [`World::enable_timeline`]).
+    timeline: Option<Box<TimelineState>>,
 }
 
 impl World {
@@ -241,6 +257,7 @@ impl World {
             events_dispatched: 0,
             wire_spans: SpanSink::disabled(),
             chaos: None,
+            timeline: None,
         }
     }
 
@@ -480,6 +497,164 @@ impl World {
         }
     }
 
+    /// Turn on windowed time-series telemetry: a fixed set of per-host and
+    /// world-wide counters/gauges is sampled every `window` of virtual
+    /// time into bounded rings of `capacity` windows. Call after hosts are
+    /// added; hosts added later are not sampled. Sampling is lazy (driven
+    /// by event dispatch crossing window boundaries), so disabled runs pay
+    /// only one branch per event and stay byte-identical.
+    pub fn enable_timeline(&mut self, window: Dur, capacity: usize) {
+        let mut tl = Timeline::new(window, capacity);
+        let world_pid = self.hosts.len() as u32;
+        for (i, host) in self.hosts.iter().enumerate() {
+            let pid = i as u32;
+            tl.declare(
+                &format!("host{i}.tx_bytes"),
+                SeriesKind::Counter,
+                "bytes",
+                pid,
+                host.kernel.stats.tx_bytes as i64,
+            );
+            tl.declare(
+                &format!("host{i}.netmem_pages"),
+                SeriesKind::Gauge,
+                "pages",
+                pid,
+                Self::host_netmem_pages(host),
+            );
+            tl.declare(
+                &format!("host{i}.retransmits"),
+                SeriesKind::Counter,
+                "segs",
+                pid,
+                host.kernel.stats.tcp_retransmit_segs as i64,
+            );
+            tl.declare(
+                &format!("host{i}.engine_busy_ns"),
+                SeriesKind::Counter,
+                "ns",
+                pid,
+                Self::host_engine_busy_ns(host),
+            );
+        }
+        let ps = self.pool.stats();
+        tl.declare(
+            "world.pool_in_use",
+            SeriesKind::Gauge,
+            "bufs",
+            world_pid,
+            ps.acquires as i64 - ps.releases as i64,
+        );
+        tl.declare(
+            "world.faults",
+            SeriesKind::Counter,
+            "events",
+            world_pid,
+            self.fault_events_total(),
+        );
+        self.timeline = Some(Box::new(TimelineState {
+            next_boundary: Time::ZERO + window,
+            tl,
+        }));
+    }
+
+    /// True when the windowed sampler is installed.
+    pub fn timeline_on(&self) -> bool {
+        self.timeline.is_some()
+    }
+
+    /// The recorded timeline, when sampling is enabled.
+    pub fn timeline(&self) -> Option<&Timeline> {
+        self.timeline.as_ref().map(|st| &st.tl)
+    }
+
+    /// Network-memory pages currently in use across a host's CAB ifaces.
+    fn host_netmem_pages(host: &Host) -> i64 {
+        let mut pages = 0i64;
+        for iface in &host.kernel.ifaces {
+            if let Some(ci) = iface.cab_ref() {
+                let nm = ci.cab.netmem();
+                pages += nm.pages_total() as i64 - nm.pages_free() as i64;
+            }
+        }
+        pages
+    }
+
+    /// Cumulative DMA-engine busy nanoseconds across a host's CAB ifaces.
+    fn host_engine_busy_ns(host: &Host) -> i64 {
+        let mut ns = 0i64;
+        for iface in &host.kernel.ifaces {
+            if let Some(ci) = iface.cab_ref() {
+                ns += ci.cab.engines_busy().as_nanos() as i64;
+            }
+        }
+        ns
+    }
+
+    /// Total injected/suffered fault events across every link (the
+    /// timeline's `world.faults` counter).
+    fn fault_events_total(&self) -> i64 {
+        let mut total = 0u64;
+        for link in self.links.values() {
+            let f = &link.faults.stats;
+            total += f.dropped + f.corrupted + f.reordered + f.duplicated + f.stealth_corrupted;
+            total += link.down_drops;
+        }
+        total as i64
+    }
+
+    /// Absolute values of every declared series, in declaration order.
+    fn timeline_values(&self) -> Vec<i64> {
+        let mut vals = Vec::with_capacity(self.hosts.len() * 4 + 2);
+        for host in &self.hosts {
+            vals.push(host.kernel.stats.tx_bytes as i64);
+            vals.push(Self::host_netmem_pages(host));
+            vals.push(host.kernel.stats.tcp_retransmit_segs as i64);
+            vals.push(Self::host_engine_busy_ns(host));
+        }
+        let ps = self.pool.stats();
+        vals.push(ps.acquires as i64 - ps.releases as i64);
+        vals.push(self.fault_events_total());
+        vals
+    }
+
+    /// Record every window boundary at or before `now`. Called from the
+    /// dispatch loop when the clock crosses `next_boundary`; because events
+    /// dispatch in nondecreasing time order, the sample at boundary `b`
+    /// covers exactly the events with time `< b` on either engine.
+    fn timeline_catch_up(&mut self, now: Time) {
+        let Some(mut st) = self.timeline.take() else {
+            return;
+        };
+        while now >= st.next_boundary {
+            let vals = self.timeline_values();
+            st.tl.record(&vals);
+            st.next_boundary += st.tl.window();
+        }
+        self.timeline = Some(st);
+    }
+
+    /// Close out the timeline at run teardown: record any boundaries the
+    /// event stream never reached, then one final partial window up to
+    /// `now`, so the conservation identity (window-delta sums == final
+    /// counter values) holds exactly over the whole run.
+    pub fn finish_timeline(&mut self, now: Time) {
+        let Some(mut st) = self.timeline.take() else {
+            return;
+        };
+        while st.next_boundary <= now {
+            let vals = self.timeline_values();
+            st.tl.record(&vals);
+            st.next_boundary += st.tl.window();
+        }
+        let window = st.tl.window();
+        if now.nanos() + window.as_nanos() > st.next_boundary.nanos() {
+            let vals = self.timeline_values();
+            st.tl.record_partial(now.nanos(), &vals);
+        }
+        self.timeline = Some(st);
+    }
+
     /// Every recorded span, merged across hosts and the fabric in stable
     /// (start-time, track, emission) order.
     pub fn merged_spans(&self) -> Vec<Span> {
@@ -499,7 +674,10 @@ impl World {
 
     /// Export every recorded span as Chrome trace-event JSON (one process
     /// per host plus one for the fabric). `flow_limit` bounds how many
-    /// flow groups get arrows.
+    /// flow groups get arrows. When the windowed sampler is enabled its
+    /// counter tracks (`ph:"C"` events) are merged into the same file,
+    /// sharing the span pid space, so spans and system curves line up on
+    /// one Perfetto timeline.
     pub fn export_trace(&self, flow_limit: Option<usize>) -> String {
         let mut tracks: Vec<(u32, String, &SpanSink)> = Vec::new();
         for (i, host) in self.hosts.iter().enumerate() {
@@ -510,7 +688,12 @@ impl World {
             "fabric".to_string(),
             &self.wire_spans,
         ));
-        span::export_chrome_trace(&tracks, flow_limit)
+        let counters = self
+            .timeline
+            .as_ref()
+            .map(|st| st.tl.chrome_counter_events())
+            .unwrap_or_default();
+        span::export_chrome_trace_with(&tracks, flow_limit, &counters)
     }
 
     /// Critical-path attribution for the busiest flow group (most spans;
@@ -619,6 +802,16 @@ impl World {
             p.counter("discards", ps.discards);
             p.counter("high_water", ps.high_water);
             p.counter("ticket_errors", ps.ticket_errors);
+        }
+        // Timeline counters publish only while the windowed sampler is
+        // installed, so unsampled runs keep byte-identical registries —
+        // the same gate the chaos, pool, and span stats use.
+        if let Some(st) = &self.timeline {
+            let mut t = w.sub("timeline");
+            t.counter("windows", st.tl.windows());
+            t.counter("evicted", st.tl.evicted());
+            t.counter("series", st.tl.series_len() as u64);
+            t.counter("window_ns", st.tl.window().as_nanos());
         }
         // Span stats publish only while tracing is on, so untraced runs
         // keep byte-identical registries (parallel-sweep gate).
@@ -936,6 +1129,14 @@ impl World {
     }
 
     fn dispatch(&mut self, ev: Event, now: Time) {
+        // Windowed telemetry samples lazily at boundary crossings, before
+        // the crossing event mutates any counters. Disabled runs pay only
+        // this one branch (zero-overhead-off, byte-identical outputs).
+        if let Some(st) = &self.timeline {
+            if now >= st.next_boundary {
+                self.timeline_catch_up(now);
+            }
+        }
         // A paused host's CPU-side events are deferred (re-queued at the
         // resume time, preserving FIFO order among deferred events); the
         // fabric and the chaos injector itself keep running.
